@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablations over the design choices DESIGN.md calls out:
+ *
+ *  - backtracking (Algorithm 2's beta loop) off: first verified
+ *    implementation wins; code quality drops;
+ *  - layout parameterization (§5.1) off: every intermediate is
+ *    linear, so the implicit deinterleaving of widening instructions
+ *    must be undone immediately (extra shuffles);
+ *  - lane-0 pruning (§4.1) off: every candidate sketch pays the full
+ *    verification, inflating sketch-query time;
+ *  - the baseline's shuffle-elimination peephole off: shows how much
+ *    of Halide's performance that single pass is responsible for.
+ */
+#include <iostream>
+
+#include "pipeline/benchmarks.h"
+#include "pipeline/report.h"
+
+namespace {
+
+using namespace rake;
+using namespace rake::pipeline;
+
+struct Config {
+    const char *name;
+    synth::LowerOptions lower;
+    baseline::BaselineOptions baseline;
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::string> names = {"sobel", "gaussian3x3",
+                                            "conv3x3a16", "mean"};
+
+    std::vector<Config> configs;
+    configs.push_back({"full", {}, {}});
+    {
+        Config c{"no-backtracking", {}, {}};
+        c.lower.backtracking = false;
+        configs.push_back(c);
+    }
+    {
+        Config c{"no-layouts", {}, {}};
+        c.lower.layouts = false;
+        configs.push_back(c);
+    }
+    {
+        Config c{"no-lane0-pruning", {}, {}};
+        c.lower.lane0_pruning = false;
+        configs.push_back(c);
+    }
+    {
+        Config c{"baseline-no-peephole", {}, {}};
+        c.baseline.shuffle_peephole = false;
+        configs.push_back(c);
+    }
+
+    std::cout << "Ablation study over the lowering search\n\n";
+    Table table({"benchmark", "config", "speedup", "rake cycles",
+                 "sketch q", "swizzle q", "synth s"});
+    for (const std::string &name : names) {
+        const Benchmark &b = benchmark(name);
+        for (const Config &cfg : configs) {
+            std::cerr << "[ablation] " << name << " / " << cfg.name
+                      << "\n";
+            CompileOptions opts;
+            opts.rake.lower = cfg.lower;
+            opts.baseline = cfg.baseline;
+            BenchmarkResult r = compile_benchmark(b, opts);
+            table.add_row({name, cfg.name, fmt(r.speedup) + "x",
+                           std::to_string(r.rake_cycles),
+                           std::to_string(r.sketch_queries),
+                           std::to_string(r.swizzle_queries),
+                           fmt(r.total_seconds, 3)});
+        }
+    }
+    std::cout << table.to_string() << "\n";
+    std::cout << "expected: 'full' never slower than the ablations; "
+                 "no-layouts adds shuffles (more rake cycles); "
+                 "no-backtracking may settle for worse code; "
+                 "no-lane0-pruning raises sketch time; "
+                 "baseline-no-peephole inflates all speedups.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 11: speedups of Rake over the Halide-style HVX baseline on
+ * the 21-benchmark suite, measured in simulated cycles.
+ *
+ * Reproduces the paper's headline result: an average (geo-mean) gain
+ * around 1.1-1.2x, the largest win on gaussian3x3 (paper: 2.1x), a
+ * single regression on depthwise_conv (paper: 0.93x), and a block of
+ * memory-bound benchmarks that tie.
+ */
+#include <iostream>
+
+#include "pipeline/benchmarks.h"
+#include "pipeline/report.h"
+
+int
+main(int argc, char **argv)
+{
+    const std::string only = argc > 1 ? argv[1] : "";
+    using namespace rake;
+    using namespace rake::pipeline;
+
+    CompileOptions opts;
+    std::vector<BenchmarkResult> results;
+    std::vector<double> speedups;
+
+    std::cout << "Figure 11: Rake vs Halide HVX backend (simulated "
+                 "cycles)\n\n";
+
+    Table table({"benchmark", "exprs", "baseline cycles", "rake cycles",
+                 "speedup"});
+    for (const Benchmark &b : benchmark_suite()) {
+        if (!only.empty() && b.name != only)
+            continue;
+        std::cerr << "[fig11] compiling " << b.name << "...\n";
+        BenchmarkResult r = compile_benchmark(b, opts);
+        table.add_row({r.name, std::to_string(r.optimized_exprs),
+                       std::to_string(r.baseline_cycles),
+                       std::to_string(r.rake_cycles),
+                       fmt(r.speedup) + "x"});
+        speedups.push_back(r.speedup);
+        results.push_back(std::move(r));
+    }
+    std::cout << table.to_string() << "\n";
+
+    double max_speedup = 0;
+    for (double s : speedups)
+        max_speedup = std::max(max_speedup, s);
+    for (const BenchmarkResult &r : results)
+        std::cout << speedup_bar(r, max_speedup) << "\n";
+
+    int improved = 0, tied = 0, regressed = 0;
+    for (double s : speedups) {
+        if (s > 1.03)
+            ++improved;
+        else if (s < 0.97)
+            ++regressed;
+        else
+            ++tied;
+    }
+    std::cout << "\nsummary: geo-mean speedup " << fmt(geomean(speedups))
+              << "x over " << speedups.size() << " benchmarks; "
+              << improved << " improved (>3%), " << tied
+              << " within margin, " << regressed << " regressed\n";
+    std::cout << "paper:   geo-mean 1.18x, max 2.1x (gaussian3x3), 10 "
+                 "improved, 10 within margin, 1 regressed "
+                 "(depthwise_conv 0.93x)\n";
+    return 0;
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * google-benchmark micro measurements of the synthesis engine:
+ * how each stage scales with expression size (§7.2's compilation-
+ * performance discussion, measured on this reproduction's engine).
+ */
+#include <benchmark/benchmark.h>
+
+#include "baseline/halide_optimizer.h"
+#include "hir/builder.h"
+#include "hir/interp.h"
+#include "hvx/interp.h"
+#include "sim/simulator.h"
+#include "synth/lift.h"
+#include "synth/lower.h"
+#include "synth/rake.h"
+#include "synth/swizzle.h"
+#include "synth/z3_verify.h"
+
+namespace {
+
+using namespace rake;
+using namespace rake::hir;
+
+/** An n-tap row convolution at u16 with binomial-ish weights. */
+ExprPtr
+conv_expr(int taps, int lanes)
+{
+    HExpr sum;
+    for (int i = 0; i < taps; ++i) {
+        HExpr term = cast(ScalarType::UInt16,
+                          load(0, ScalarType::UInt8, lanes, i)) *
+                     ((i % 3) + 1);
+        sum = sum.defined() ? sum + term : term;
+    }
+    return cast(ScalarType::UInt8, (sum + 8) >> 4).ptr();
+}
+
+void
+BM_hir_interp(benchmark::State &state)
+{
+    ExprPtr e = conv_expr(static_cast<int>(state.range(0)), 128);
+    synth::Spec spec = synth::Spec::from_expr(e);
+    synth::ExamplePool pool(spec, 1);
+    const Env &env = pool.at(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hir::evaluate(e, env));
+}
+BENCHMARK(BM_hir_interp)->Arg(3)->Arg(5)->Arg(9);
+
+void
+BM_lift(benchmark::State &state)
+{
+    ExprPtr e = conv_expr(static_cast<int>(state.range(0)), 128);
+    for (auto _ : state) {
+        synth::Spec spec = synth::Spec::from_expr(e);
+        synth::ExamplePool pool(spec, 1);
+        synth::Verifier verifier(spec, pool);
+        benchmark::DoNotOptimize(synth::lift_to_uir(verifier));
+    }
+}
+BENCHMARK(BM_lift)->Arg(3)->Arg(5)->Arg(9)->Iterations(20)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_lower(benchmark::State &state)
+{
+    ExprPtr e = conv_expr(static_cast<int>(state.range(0)), 128);
+    synth::Spec spec = synth::Spec::from_expr(e);
+    synth::ExamplePool pool(spec, 1);
+    synth::Verifier verifier(spec, pool);
+    auto lifted = synth::lift_to_uir(verifier);
+    hvx::Target target;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            synth::lower_to_hvx(verifier, lifted.expr, target));
+    }
+}
+BENCHMARK(BM_lower)->Arg(3)->Arg(5)->Arg(9)->Iterations(10)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_end_to_end(benchmark::State &state)
+{
+    ExprPtr e = conv_expr(static_cast<int>(state.range(0)), 128);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(synth::select_instructions(e));
+}
+BENCHMARK(BM_end_to_end)->Arg(3)->Arg(9)->Iterations(5)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_baseline_select(benchmark::State &state)
+{
+    ExprPtr e = conv_expr(static_cast<int>(state.range(0)), 128);
+    hvx::Target target;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            baseline::select_instructions(e, target));
+}
+BENCHMARK(BM_baseline_select)->Arg(3)->Arg(9);
+
+void
+BM_swizzle_solver(benchmark::State &state)
+{
+    // Deinterleave goal over one source: the solver must discover
+    // vdealvdd through its permutation rules.
+    const int lanes = static_cast<int>(state.range(0));
+    hvx::Target target;
+    hvx::InstrPtr src = hvx::Instr::make_read(
+        hir::LoadRef{0, 0, 0}, VecType(ScalarType::UInt8, lanes));
+    synth::Arrangement arr =
+        synth::deinterleave(synth::source_cells(0, lanes));
+    synth::Hole hole{VecType(ScalarType::UInt8, lanes), arr, {src}};
+    for (auto _ : state) {
+        synth::SwizzleStats stats;
+        synth::SwizzleSolver solver(target, stats);
+        benchmark::DoNotOptimize(solver.solve(hole, 4));
+    }
+}
+BENCHMARK(BM_swizzle_solver)->Arg(32)->Arg(128);
+
+void
+BM_z3_prove(benchmark::State &state)
+{
+    // z3 proof that a vdmpy-style chain equals its HIR source, on the
+    // incremental lane set.
+    ExprPtr e = conv_expr(3, 32);
+    synth::RakeOptions opts;
+    auto rk = synth::select_instructions(e, opts);
+    if (!rk) {
+        state.SkipWithError("synthesis failed");
+        return;
+    }
+    synth::Spec spec = synth::Spec::from_expr(e);
+    for (auto _ : state) {
+        auto out = synth::z3_check(e, rk->instr, spec);
+        if (out.result != synth::ProofResult::Proved) {
+            state.SkipWithError("proof did not close");
+            return;
+        }
+    }
+}
+BENCHMARK(BM_z3_prove)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void
+BM_simulator(benchmark::State &state)
+{
+    ExprPtr e = conv_expr(9, 128);
+    hvx::Target target;
+    hvx::InstrPtr code = baseline::select_instructions(e, target);
+    sim::MachineModel machine;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim::schedule(code, target, machine));
+}
+BENCHMARK(BM_simulator);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table 1: compilation statistics for the Hexagon HVX backend.
+ *
+ * For every benchmark: the number of optimized vector expressions and
+ * the per-stage synthesis effort — lifting queries/time, sketch
+ * (swizzle-free) queries/time, swizzle queries/time, and total
+ * synthesis time. The paper's headline distribution should hold:
+ * lifting is the cheapest stage and swizzle synthesis dominates the
+ * query count.
+ */
+#include <iostream>
+
+#include "pipeline/benchmarks.h"
+#include "pipeline/report.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rake;
+    using namespace rake::pipeline;
+
+    const std::string only = argc > 1 ? argv[1] : "";
+    CompileOptions opts;
+    opts.validate = false; // Table 1 measures synthesis effort only
+
+    std::cout << "Table 1: compilation statistics (per benchmark)\n\n";
+    Table table({"benchmark", "exprs", "lift q", "sketch q", "swizzle q",
+                 "lift s", "sketch s", "swizzle s", "total s"});
+
+    long lift_q = 0, sketch_q = 0, swizzle_q = 0;
+    double lift_s = 0, sketch_s = 0, swizzle_s = 0, total_s = 0;
+    int rows = 0;
+    for (const Benchmark &b : benchmark_suite()) {
+        if (!only.empty() && b.name != only)
+            continue;
+        std::cerr << "[table1] compiling " << b.name << "...\n";
+        BenchmarkResult r = compile_benchmark(b, opts);
+        table.add_row({r.name, std::to_string(r.optimized_exprs),
+                       std::to_string(r.lifting_queries),
+                       std::to_string(r.sketch_queries),
+                       std::to_string(r.swizzle_queries),
+                       fmt(r.lifting_seconds, 3),
+                       fmt(r.sketch_seconds, 3),
+                       fmt(r.swizzle_seconds, 3),
+                       fmt(r.total_seconds, 3)});
+        lift_q += r.lifting_queries;
+        sketch_q += r.sketch_queries;
+        swizzle_q += r.swizzle_queries;
+        lift_s += r.lifting_seconds;
+        sketch_s += r.sketch_seconds;
+        swizzle_s += r.swizzle_seconds;
+        total_s += r.total_seconds;
+        ++rows;
+    }
+    table.add_row({"(total)", std::to_string(rows),
+                   std::to_string(lift_q), std::to_string(sketch_q),
+                   std::to_string(swizzle_q), fmt(lift_s, 3),
+                   fmt(sketch_s, 3), fmt(swizzle_s, 3), fmt(total_s, 3)});
+    std::cout << table.to_string() << "\n";
+
+    std::cout << "paper: mean compile 62 min/benchmark on z3 "
+                 "(lifting 9%, sketches 21%, swizzles 70% of time); "
+                 "this reproduction replaces the SMT search engine "
+                 "with concrete CEGIS, so absolute times are far "
+                 "smaller while the per-stage query distribution "
+                 "keeps the same ordering (swizzle queries "
+              << (swizzle_q > lift_q ? ">" : "<=")
+              << " lifting queries).\n";
+    return 0;
+}

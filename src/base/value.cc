@@ -1,0 +1,21 @@
+#include "base/value.h"
+
+#include <sstream>
+
+namespace rake {
+
+std::string
+to_string(const Value &v)
+{
+    std::ostringstream os;
+    os << to_string(v.type) << "{";
+    for (size_t i = 0; i < v.lanes.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << v.lanes[i];
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace rake

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Runtime values: typed lane vectors, input buffers, and evaluation
+ * environments shared by all three interpreters (HIR, UIR, HVX).
+ */
+#ifndef RAKE_BASE_VALUE_H
+#define RAKE_BASE_VALUE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/arith.h"
+#include "base/type.h"
+
+namespace rake {
+
+/**
+ * A concrete vector value: a VecType plus one int64 carrier per lane.
+ *
+ * Lane values are always kept normalized (i.e. wrap(type.elem, lane)
+ * == lane) by the interpreters.
+ */
+struct Value {
+    VecType type;
+    std::vector<int64_t> lanes;
+
+    Value() = default;
+
+    Value(VecType t, std::vector<int64_t> l) : type(t), lanes(std::move(l))
+    {
+        RAKE_CHECK(static_cast<int>(lanes.size()) == type.lanes,
+                   "lane count mismatch: " << lanes.size() << " vs "
+                                           << type.lanes);
+    }
+
+    /** A scalar value. */
+    static Value
+    scalar(ScalarType t, int64_t v)
+    {
+        return Value(VecType(t, 1), {wrap(t, v)});
+    }
+
+    /** Broadcast a scalar to a vector of the given lane count. */
+    static Value
+    splat(ScalarType t, int lanes, int64_t v)
+    {
+        return Value(VecType(t, lanes),
+                     std::vector<int64_t>(lanes, wrap(t, v)));
+    }
+
+    /** All-zero vector. */
+    static Value
+    zero(VecType t)
+    {
+        return Value(t, std::vector<int64_t>(t.lanes, 0));
+    }
+
+    int64_t operator[](int i) const { return lanes[i]; }
+    int64_t &operator[](int i) { return lanes[i]; }
+
+    /** The single lane of a scalar value. */
+    int64_t
+    as_scalar() const
+    {
+        RAKE_CHECK(type.lanes == 1, "as_scalar on " << to_string(type));
+        return lanes[0];
+    }
+
+    bool
+    operator==(const Value &o) const
+    {
+        return type == o.type && lanes == o.lanes;
+    }
+    bool operator!=(const Value &o) const { return !(*this == o); }
+};
+
+/** Human-readable rendering, e.g. "i16x4{1, 2, 3, 4}". */
+std::string to_string(const Value &v);
+
+/**
+ * A 2-D input buffer an expression loads from.
+ *
+ * Loads address the buffer as data[(y - y0) * width + (x - x0)];
+ * out-of-range coordinates clamp to the edge (Halide's default
+ * boundary condition for these benchmarks).
+ */
+struct Buffer {
+    ScalarType elem = ScalarType::UInt8;
+    int width = 0;
+    int height = 1;
+    int x0 = 0; ///< x coordinate of data[0]
+    int y0 = 0; ///< y coordinate of data[0]
+    std::vector<int64_t> data;
+
+    Buffer() = default;
+
+    Buffer(ScalarType e, int w, int h = 1, int x_origin = 0,
+           int y_origin = 0)
+        : elem(e), width(w), height(h), x0(x_origin), y0(y_origin),
+          data(static_cast<size_t>(w) * h, 0)
+    {
+    }
+
+    /** Element at absolute coordinates (x, y), edge-clamped. */
+    int64_t
+    at(int x, int y) const
+    {
+        int ix = x - x0;
+        int iy = y - y0;
+        if (ix < 0)
+            ix = 0;
+        if (ix >= width)
+            ix = width - 1;
+        if (iy < 0)
+            iy = 0;
+        if (iy >= height)
+            iy = height - 1;
+        return data[static_cast<size_t>(iy) * width + ix];
+    }
+
+    /** Mutable element at absolute coordinates; must be in range. */
+    int64_t &
+    at_mut(int x, int y)
+    {
+        const int ix = x - x0;
+        const int iy = y - y0;
+        RAKE_CHECK(ix >= 0 && ix < width && iy >= 0 && iy < height,
+                   "store out of range (" << x << ", " << y << ")");
+        return data[static_cast<size_t>(iy) * width + ix];
+    }
+};
+
+/**
+ * Evaluation environment: input buffers by id, scalar variables by
+ * name, and the (x, y) origin of the vector expression being
+ * evaluated (the loop indices of the innermost vectorized loop).
+ */
+struct Env {
+    std::map<int, Buffer> buffers;
+    std::map<std::string, int64_t> scalars;
+    int x = 0;
+    int y = 0;
+
+    const Buffer &
+    buffer(int id) const
+    {
+        auto it = buffers.find(id);
+        RAKE_CHECK(it != buffers.end(), "no buffer with id " << id);
+        return it->second;
+    }
+
+    int64_t
+    scalar(const std::string &name) const
+    {
+        auto it = scalars.find(name);
+        RAKE_CHECK(it != scalars.end(), "no scalar variable " << name);
+        return it->second;
+    }
+};
+
+} // namespace rake
+
+#endif // RAKE_BASE_VALUE_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The baseline instruction selector: a faithful model of Halide's
+ * hand-written HexagonOptimizer pattern-matching pass (the system the
+ * paper compares against in §7).
+ *
+ * It selects HVX instructions by greedy syntactic rewrite rules and
+ * maintains Halide's invariant that every value crossing an operator
+ * boundary is in linear lane order — inserting vshuffvdd after every
+ * widening instruction and vdealvdd before every narrowing pack. A
+ * peephole pass then removes interleave/deinterleave pairs it can see
+ * through (Halide's dedicated pass, which "is not always able to do
+ * so", §7.1.3).
+ *
+ * Deliberately reproduced gaps, from the paper's Figures 4 and 12:
+ *  - no vtmpy (3-tap sliding window): uses vmpa + vadd + vzxt;
+ *  - no accumulating vmpa.acc chains: sums partial vmpa results;
+ *  - no fused vasr-rnd-sat: shifts both halves then packs;
+ *  - no saturation reasoning: keeps redundant max/min around packs;
+ *  - no widening vmpy-acc for mixed-width adds: zero-extends instead;
+ *  - no vmpyie (unsigned-even multiply): uses vmpyio + vaslw.
+ */
+#ifndef RAKE_BASELINE_HALIDE_OPTIMIZER_H
+#define RAKE_BASELINE_HALIDE_OPTIMIZER_H
+
+#include "hir/expr.h"
+#include "hvx/cost.h"
+#include "hvx/instr.h"
+
+namespace rake::baseline {
+
+/** Baseline knobs (the peephole toggle supports ablations). */
+struct BaselineOptions {
+    bool shuffle_peephole = true; ///< eliminate shuff/deal pairs
+};
+
+/**
+ * Select HVX instructions for an HIR expression with the
+ * pattern-matching baseline. Always succeeds (every HIR op has a
+ * generic fallback); the result is a verified-correct linear-layout
+ * implementation.
+ */
+hvx::InstrPtr select_instructions(const hir::ExprPtr &expr,
+                                  const hvx::Target &target,
+                                  const BaselineOptions &opts = {});
+
+} // namespace rake::baseline
+
+#endif // RAKE_BASELINE_HALIDE_OPTIMIZER_H

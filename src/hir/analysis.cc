@@ -1,0 +1,223 @@
+#include "hir/analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/arith.h"
+#include "support/error.h"
+
+namespace rake::hir {
+
+namespace {
+
+void
+walk(const ExprPtr &e, std::set<LoadRef> *loads,
+     std::set<std::string> *vars, std::map<Op, int> *hist)
+{
+    if (hist)
+        ++(*hist)[e->op()];
+    if (e->op() == Op::Load && loads)
+        loads->insert(e->load_ref());
+    if (e->op() == Op::Var && vars)
+        vars->insert(e->var_name());
+    for (const auto &a : e->args())
+        walk(a, loads, vars, hist);
+}
+
+/** Saturating multiply used to bound products without UB. */
+int64_t
+sat_mul(int64_t a, int64_t b)
+{
+    __int128 p = static_cast<__int128>(a) * b;
+    if (p > INT64_MAX)
+        return INT64_MAX;
+    if (p < INT64_MIN)
+        return INT64_MIN;
+    return static_cast<int64_t>(p);
+}
+
+int64_t
+sat_add(int64_t a, int64_t b)
+{
+    __int128 s = static_cast<__int128>(a) + b;
+    if (s > INT64_MAX)
+        return INT64_MAX;
+    if (s < INT64_MIN)
+        return INT64_MIN;
+    return static_cast<int64_t>(s);
+}
+
+class RangeAnalysis
+{
+  public:
+    Interval
+    range(const ExprPtr &e)
+    {
+        auto it = memo_.find(e.get());
+        if (it != memo_.end())
+            return it->second;
+        Interval r = compute(e);
+        // Result always clips to what the node's type can represent.
+        const Interval tr = Interval::of_type(e->type().elem);
+        if (r.min < tr.min || r.max > tr.max)
+            r = tr;
+        memo_.emplace(e.get(), r);
+        return r;
+    }
+
+  private:
+    Interval
+    compute(const ExprPtr &e)
+    {
+        const ScalarType s = e->type().elem;
+        switch (e->op()) {
+          case Op::Load:
+          case Op::Var:
+            return Interval::of_type(s);
+          case Op::Const:
+            return Interval(e->const_value(), e->const_value());
+          case Op::Broadcast:
+            return range(e->arg(0));
+          case Op::Cast: {
+            const Interval a = range(e->arg(0));
+            if (a.fits_in(s))
+                return a; // cast is value-preserving on this range
+            return Interval::of_type(s);
+          }
+          case Op::Add: {
+            const Interval a = range(e->arg(0));
+            const Interval b = range(e->arg(1));
+            const Interval r(sat_add(a.min, b.min), sat_add(a.max, b.max));
+            return r.fits_in(s) ? r : Interval::of_type(s);
+          }
+          case Op::Sub: {
+            const Interval a = range(e->arg(0));
+            const Interval b = range(e->arg(1));
+            const Interval r(sat_add(a.min, -b.max),
+                             sat_add(a.max, -b.min));
+            return r.fits_in(s) ? r : Interval::of_type(s);
+          }
+          case Op::Mul: {
+            const Interval a = range(e->arg(0));
+            const Interval b = range(e->arg(1));
+            const int64_t c[4] = {sat_mul(a.min, b.min),
+                                  sat_mul(a.min, b.max),
+                                  sat_mul(a.max, b.min),
+                                  sat_mul(a.max, b.max)};
+            const Interval r(*std::min_element(c, c + 4),
+                             *std::max_element(c, c + 4));
+            return r.fits_in(s) ? r : Interval::of_type(s);
+          }
+          case Op::Min: {
+            const Interval a = range(e->arg(0));
+            const Interval b = range(e->arg(1));
+            return Interval(std::min(a.min, b.min),
+                            std::min(a.max, b.max));
+          }
+          case Op::Max: {
+            const Interval a = range(e->arg(0));
+            const Interval b = range(e->arg(1));
+            return Interval(std::max(a.min, b.min),
+                            std::max(a.max, b.max));
+          }
+          case Op::AbsDiff: {
+            const Interval a = range(e->arg(0));
+            const Interval b = range(e->arg(1));
+            // Maximum spread between the two intervals.
+            const int64_t hi = std::max(sat_add(a.max, -b.min),
+                                        sat_add(b.max, -a.min));
+            int64_t lo = 0;
+            // If the intervals are disjoint the difference is bounded
+            // away from zero.
+            if (a.min > b.max)
+                lo = a.min - b.max;
+            else if (b.min > a.max)
+                lo = b.min - a.max;
+            const Interval r(lo, std::max(lo, hi));
+            return r.fits_in(s) ? r : Interval::of_type(s);
+          }
+          case Op::ShiftLeft: {
+            int64_t sh = 0;
+            const Interval a = range(e->arg(0));
+            if (as_const(e->arg(1), &sh) && sh >= 0 && sh < 63) {
+                const Interval r(sat_mul(a.min, int64_t{1} << sh),
+                                 sat_mul(a.max, int64_t{1} << sh));
+                if (r.fits_in(s))
+                    return r;
+            }
+            return Interval::of_type(s);
+          }
+          case Op::ShiftRight: {
+            int64_t sh = 0;
+            const Interval a = range(e->arg(0));
+            if (as_const(e->arg(1), &sh) && sh >= 0 && sh < 63) {
+                if (is_signed(s) || a.min >= 0)
+                    return Interval(a.min >> sh, a.max >> sh);
+            }
+            return Interval::of_type(s);
+          }
+          case Op::Lt:
+          case Op::Le:
+          case Op::Eq:
+            return Interval(0, 1);
+          case Op::Select: {
+            const Interval a = range(e->arg(1));
+            const Interval b = range(e->arg(2));
+            return Interval(std::min(a.min, b.min),
+                            std::max(a.max, b.max));
+          }
+          case Op::And: {
+            // Conservative: non-negative & non-negative stays within
+            // the smaller bound.
+            const Interval a = range(e->arg(0));
+            const Interval b = range(e->arg(1));
+            if (a.min >= 0 && b.min >= 0)
+                return Interval(0, std::min(a.max, b.max));
+            return Interval::of_type(s);
+          }
+          case Op::Or:
+          case Op::Xor:
+          case Op::Not:
+            return Interval::of_type(s);
+        }
+        RAKE_UNREACHABLE("bad Op in range analysis");
+    }
+
+    std::unordered_map<const Expr *, Interval> memo_;
+};
+
+} // namespace
+
+std::set<LoadRef>
+collect_loads(const ExprPtr &e)
+{
+    std::set<LoadRef> loads;
+    walk(e, &loads, nullptr, nullptr);
+    return loads;
+}
+
+std::set<std::string>
+collect_vars(const ExprPtr &e)
+{
+    std::set<std::string> vars;
+    walk(e, nullptr, &vars, nullptr);
+    return vars;
+}
+
+std::map<Op, int>
+op_histogram(const ExprPtr &e)
+{
+    std::map<Op, int> hist;
+    walk(e, nullptr, nullptr, &hist);
+    return hist;
+}
+
+Interval
+range_of(const ExprPtr &e)
+{
+    RAKE_CHECK(e != nullptr, "range_of null expression");
+    RangeAnalysis ra;
+    return ra.range(e);
+}
+
+} // namespace rake::hir

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Static analyses over HIR: live-data (load set) collection, operation
+ * statistics, and interval range analysis.
+ *
+ * Range analysis powers the paper's "semantic reasoning" category of
+ * optimizations (§7.1.2): proving an intermediate is non-negative lets
+ * Rake use unsigned-only intrinsics (l2norm / vmpyie), and proving the
+ * upper bits are zero lets it use fused truncating instructions
+ * (gaussian3x3 / vasr-rnd-sat).
+ */
+#ifndef RAKE_HIR_ANALYSIS_H
+#define RAKE_HIR_ANALYSIS_H
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "hir/expr.h"
+
+namespace rake::hir {
+
+/** All distinct loads (live data) referenced by an expression. */
+std::set<LoadRef> collect_loads(const ExprPtr &e);
+
+/** All distinct scalar variable names referenced by an expression. */
+std::set<std::string> collect_vars(const ExprPtr &e);
+
+/** Count of nodes per op kind. */
+std::map<Op, int> op_histogram(const ExprPtr &e);
+
+/**
+ * A closed integer interval [min, max]; used as the abstract domain
+ * of the range analysis. The total order invariant min <= max always
+ * holds.
+ */
+struct Interval {
+    int64_t min = 0;
+    int64_t max = 0;
+
+    Interval() = default;
+    Interval(int64_t lo, int64_t hi) : min(lo), max(hi)
+    {
+        RAKE_CHECK(lo <= hi, "inverted interval [" << lo << ", " << hi
+                                                   << "]");
+    }
+
+    /** The full range of a scalar type. */
+    static Interval
+    of_type(ScalarType t)
+    {
+        return Interval(min_value(t), max_value(t));
+    }
+
+    bool contains(int64_t v) const { return v >= min && v <= max; }
+
+    /** Whether every value in this interval fits in type t. */
+    bool
+    fits_in(ScalarType t) const
+    {
+        return min >= min_value(t) && max <= max_value(t);
+    }
+
+    bool is_non_negative() const { return min >= 0; }
+
+    bool
+    operator==(const Interval &o) const
+    {
+        return min == o.min && max == o.max;
+    }
+};
+
+/**
+ * Interval range analysis.
+ *
+ * Conservatively bounds the value of every lane of `e` assuming each
+ * load lane ranges over its buffer element type and each scalar
+ * variable over its declared type. Overflow-aware: any operation that
+ * can wrap in its result type widens to the full type range.
+ */
+Interval range_of(const ExprPtr &e);
+
+} // namespace rake::hir
+
+#endif // RAKE_HIR_ANALYSIS_H

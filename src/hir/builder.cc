@@ -1,0 +1,141 @@
+#include "hir/builder.h"
+
+#include "support/error.h"
+
+namespace rake::hir {
+
+namespace {
+
+/**
+ * Make two operands lane-compatible: broadcast a scalar operand to
+ * the other's lane count.
+ */
+void
+harmonize_lanes(HExpr &a, HExpr &b)
+{
+    const int la = a.type().lanes;
+    const int lb = b.type().lanes;
+    if (la == lb)
+        return;
+    if (la == 1)
+        a = Expr::make_broadcast(a.ptr(), lb);
+    else if (lb == 1)
+        b = Expr::make_broadcast(b.ptr(), la);
+    else
+        throw UserError("incompatible lane counts " + std::to_string(la) +
+                        " and " + std::to_string(lb));
+}
+
+HExpr
+binary(Op op, HExpr a, HExpr b)
+{
+    harmonize_lanes(a, b);
+    return Expr::make(op, {a.ptr(), b.ptr()});
+}
+
+/** A literal with the element type of e (broadcast handled later). */
+HExpr
+literal_like(const HExpr &e, int64_t v)
+{
+    return Expr::make_const(v, VecType(e.type().elem, 1));
+}
+
+} // namespace
+
+HExpr
+load(int buf, ScalarType elem, int lanes, int dx, int dy)
+{
+    return Expr::make_load(LoadRef{buf, dx, dy}, VecType(elem, lanes));
+}
+
+HExpr
+constant(ScalarType elem, int64_t v)
+{
+    return Expr::make_const(v, VecType(elem, 1));
+}
+
+HExpr
+splat(ScalarType elem, int lanes, int64_t v)
+{
+    return Expr::make_const(v, VecType(elem, lanes));
+}
+
+HExpr
+var(const std::string &name, ScalarType elem)
+{
+    return Expr::make_var(name, VecType(elem, 1));
+}
+
+HExpr
+broadcast(HExpr scalar, int lanes)
+{
+    return Expr::make_broadcast(scalar.ptr(), lanes);
+}
+
+HExpr
+cast(ScalarType elem, HExpr a)
+{
+    return Expr::make_cast(elem, a.ptr());
+}
+
+HExpr operator+(HExpr a, HExpr b) { return binary(Op::Add, a, b); }
+HExpr operator-(HExpr a, HExpr b) { return binary(Op::Sub, a, b); }
+HExpr operator*(HExpr a, HExpr b) { return binary(Op::Mul, a, b); }
+HExpr operator<<(HExpr a, HExpr b) { return binary(Op::ShiftLeft, a, b); }
+HExpr operator>>(HExpr a, HExpr b) { return binary(Op::ShiftRight, a, b); }
+HExpr operator&(HExpr a, HExpr b) { return binary(Op::And, a, b); }
+HExpr operator|(HExpr a, HExpr b) { return binary(Op::Or, a, b); }
+HExpr operator^(HExpr a, HExpr b) { return binary(Op::Xor, a, b); }
+
+HExpr operator+(HExpr a, int64_t b) { return a + literal_like(a, b); }
+HExpr operator+(int64_t a, HExpr b) { return literal_like(b, a) + b; }
+HExpr operator-(HExpr a, int64_t b) { return a - literal_like(a, b); }
+HExpr operator*(HExpr a, int64_t b) { return a * literal_like(a, b); }
+HExpr operator*(int64_t a, HExpr b) { return literal_like(b, a) * b; }
+HExpr operator<<(HExpr a, int64_t b) { return a << literal_like(a, b); }
+HExpr operator>>(HExpr a, int64_t b) { return a >> literal_like(a, b); }
+
+HExpr min(HExpr a, HExpr b) { return binary(Op::Min, a, b); }
+HExpr max(HExpr a, HExpr b) { return binary(Op::Max, a, b); }
+HExpr min(HExpr a, int64_t b) { return min(a, literal_like(a, b)); }
+HExpr max(HExpr a, int64_t b) { return max(a, literal_like(a, b)); }
+HExpr absd(HExpr a, HExpr b) { return binary(Op::AbsDiff, a, b); }
+
+HExpr
+clamp(HExpr v, int64_t lo, int64_t hi)
+{
+    return min(max(v, lo), hi);
+}
+
+HExpr
+select(HExpr cond, HExpr then_v, HExpr else_v)
+{
+    harmonize_lanes(then_v, else_v);
+    harmonize_lanes(cond, then_v);
+    harmonize_lanes(cond, else_v);
+    return Expr::make(Op::Select, {cond.ptr(), then_v.ptr(), else_v.ptr()});
+}
+
+HExpr lt(HExpr a, HExpr b) { return binary(Op::Lt, a, b); }
+HExpr le(HExpr a, HExpr b) { return binary(Op::Le, a, b); }
+HExpr eq(HExpr a, HExpr b) { return binary(Op::Eq, a, b); }
+
+HExpr
+sat_u8(HExpr a)
+{
+    return cast(ScalarType::UInt8, clamp(a, 0, 255));
+}
+
+HExpr
+sat_i16(HExpr a)
+{
+    return cast(ScalarType::Int16, clamp(a, INT16_MIN, INT16_MAX));
+}
+
+HExpr
+sat_u16(HExpr a)
+{
+    return cast(ScalarType::UInt16, clamp(a, 0, UINT16_MAX));
+}
+
+} // namespace rake::hir

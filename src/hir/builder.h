@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ergonomic builder DSL for authoring HIR expressions.
+ *
+ * HExpr is a thin value wrapper over ExprPtr with operator
+ * overloads, automatic broadcasting of scalar operands, and automatic
+ * coercion of integer literals to the other operand's element type —
+ * so benchmark kernels read almost exactly like the paper's Fig. 3.
+ */
+#ifndef RAKE_HIR_BUILDER_H
+#define RAKE_HIR_BUILDER_H
+
+#include <string>
+
+#include "hir/expr.h"
+
+namespace rake::hir {
+
+/** Value wrapper over ExprPtr enabling infix expression authoring. */
+class HExpr
+{
+  public:
+    HExpr() = default;
+    /*implicit*/ HExpr(ExprPtr e) : e_(std::move(e)) {}
+
+    const ExprPtr &ptr() const { return e_; }
+    operator ExprPtr() const { return e_; }
+    const VecType &type() const { return e_->type(); }
+    bool defined() const { return e_ != nullptr; }
+
+  private:
+    ExprPtr e_;
+};
+
+/** Vector load: lanes elements of buffer `buf` at offset (dx, dy). */
+HExpr load(int buf, ScalarType elem, int lanes, int dx = 0, int dy = 0);
+
+/** Scalar constant. */
+HExpr constant(ScalarType elem, int64_t v);
+
+/** Broadcast constant (the paper's x128(c)). */
+HExpr splat(ScalarType elem, int lanes, int64_t v);
+
+/** Named scalar variable. */
+HExpr var(const std::string &name, ScalarType elem);
+
+/** Broadcast a scalar expression to `lanes` lanes. */
+HExpr broadcast(HExpr scalar, int lanes);
+
+/** Wrapping cast to a new element type (paper's uint16x128(...)). */
+HExpr cast(ScalarType elem, HExpr a);
+
+HExpr operator+(HExpr a, HExpr b);
+HExpr operator-(HExpr a, HExpr b);
+HExpr operator*(HExpr a, HExpr b);
+HExpr operator<<(HExpr a, HExpr b);
+HExpr operator>>(HExpr a, HExpr b);
+HExpr operator&(HExpr a, HExpr b);
+HExpr operator|(HExpr a, HExpr b);
+HExpr operator^(HExpr a, HExpr b);
+
+/// Integer literals coerce to the vector operand's element type.
+HExpr operator+(HExpr a, int64_t b);
+HExpr operator+(int64_t a, HExpr b);
+HExpr operator-(HExpr a, int64_t b);
+HExpr operator*(HExpr a, int64_t b);
+HExpr operator*(int64_t a, HExpr b);
+HExpr operator<<(HExpr a, int64_t b);
+HExpr operator>>(HExpr a, int64_t b);
+
+HExpr min(HExpr a, HExpr b);
+HExpr max(HExpr a, HExpr b);
+HExpr min(HExpr a, int64_t b);
+HExpr max(HExpr a, int64_t b);
+HExpr absd(HExpr a, HExpr b);
+HExpr clamp(HExpr v, int64_t lo, int64_t hi);
+HExpr select(HExpr cond, HExpr then_v, HExpr else_v);
+HExpr lt(HExpr a, HExpr b);
+HExpr le(HExpr a, HExpr b);
+HExpr eq(HExpr a, HExpr b);
+
+/** Halide's u8_sat(x) == cast<u8>(clamp(x, 0, 255)) spelled out. */
+HExpr sat_u8(HExpr a);
+/** Halide's i16_sat(x) spelled out via clamp + cast. */
+HExpr sat_i16(HExpr a);
+/** Halide's u16_sat(x) spelled out via clamp + cast. */
+HExpr sat_u16(HExpr a);
+
+} // namespace rake::hir
+
+#endif // RAKE_HIR_BUILDER_H

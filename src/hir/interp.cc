@@ -1,0 +1,143 @@
+#include "hir/interp.h"
+
+#include "base/arith.h"
+#include "support/error.h"
+
+namespace rake::hir {
+
+Value
+Interpreter::eval(const ExprPtr &e)
+{
+    RAKE_CHECK(e != nullptr, "eval of null expression");
+    auto it = memo_.find(e.get());
+    if (it != memo_.end())
+        return it->second;
+    Value v = eval_impl(*e);
+    memo_.emplace(e.get(), v);
+    return v;
+}
+
+Value
+Interpreter::eval_impl(const Expr &e)
+{
+    const VecType t = e.type();
+    const ScalarType s = t.elem;
+
+    switch (e.op()) {
+      case Op::Load: {
+        const LoadRef &r = e.load_ref();
+        const Buffer &buf = env_.buffer(r.buffer);
+        RAKE_CHECK(buf.elem == s, "load type " << to_string(s)
+                                               << " != buffer elem "
+                                               << to_string(buf.elem));
+        Value v = Value::zero(t);
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = wrap(s, buf.at(env_.x + r.dx + i, env_.y + r.dy));
+        return v;
+      }
+      case Op::Const:
+        return Value::splat(s, t.lanes, e.const_value());
+      case Op::Var:
+        return Value::scalar(s, env_.scalar(e.var_name()));
+      case Op::Broadcast: {
+        Value a = eval(e.arg(0));
+        return Value::splat(s, t.lanes, a.as_scalar());
+      }
+      case Op::Cast: {
+        Value a = eval(e.arg(0));
+        Value v = Value::zero(t);
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = wrap(s, a[i]);
+        return v;
+      }
+      case Op::Not: {
+        Value a = eval(e.arg(0));
+        Value v = Value::zero(t);
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = wrap(s, ~a[i]);
+        return v;
+      }
+      case Op::Select: {
+        Value c = eval(e.arg(0));
+        Value a = eval(e.arg(1));
+        Value b = eval(e.arg(2));
+        Value v = Value::zero(t);
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = c[i] != 0 ? a[i] : b[i];
+        return v;
+      }
+      default:
+        break;
+    }
+
+    // Remaining ops are lane-wise binaries.
+    Value a = eval(e.arg(0));
+    Value b = eval(e.arg(1));
+    Value v = Value::zero(t);
+    const ScalarType os = e.arg(0)->type().elem; // operand elem type
+    for (int i = 0; i < t.lanes; ++i) {
+        const int64_t x = a[i];
+        const int64_t y = b[i];
+        int64_t r = 0;
+        switch (e.op()) {
+          case Op::Add:
+            r = wrap(s, x + y);
+            break;
+          case Op::Sub:
+            r = wrap(s, x - y);
+            break;
+          case Op::Mul:
+            r = wrap(s, x * y);
+            break;
+          case Op::Min:
+            r = std::min(x, y);
+            break;
+          case Op::Max:
+            r = std::max(x, y);
+            break;
+          case Op::AbsDiff:
+            r = wrap(s, abs_diff(x, y));
+            break;
+          case Op::ShiftLeft:
+            r = shift_left(s, x, static_cast<int>(y));
+            break;
+          case Op::ShiftRight:
+            r = is_signed(s) ? wrap(s, shift_right(x, static_cast<int>(y)))
+                             : logical_shift_right(s, x,
+                                                   static_cast<int>(y));
+            break;
+          case Op::And:
+            r = wrap(s, x & y);
+            break;
+          case Op::Or:
+            r = wrap(s, x | y);
+            break;
+          case Op::Xor:
+            r = wrap(s, x ^ y);
+            break;
+          case Op::Lt:
+            r = x < y ? 1 : 0;
+            break;
+          case Op::Le:
+            r = x <= y ? 1 : 0;
+            break;
+          case Op::Eq:
+            r = x == y ? 1 : 0;
+            break;
+          default:
+            RAKE_UNREACHABLE("unhandled binary op " << to_string(e.op()));
+        }
+        (void)os;
+        v[i] = r;
+    }
+    return v;
+}
+
+Value
+evaluate(const ExprPtr &e, const Env &env)
+{
+    Interpreter interp(env);
+    return interp.eval(e);
+}
+
+} // namespace rake::hir

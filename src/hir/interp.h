@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reference interpreter for HIR expressions.
+ *
+ * This is the semantic ground truth of the whole system: both the
+ * synthesized HVX code and the baseline's code are judged against the
+ * values this interpreter produces.
+ */
+#ifndef RAKE_HIR_INTERP_H
+#define RAKE_HIR_INTERP_H
+
+#include <unordered_map>
+
+#include "base/value.h"
+#include "hir/expr.h"
+
+namespace rake::hir {
+
+/**
+ * Evaluate an HIR expression under an environment.
+ *
+ * Shared sub-DAGs are evaluated once per call (memoized on node
+ * identity).
+ */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Env &env) : env_(env) {}
+
+    /** Evaluate `e`; lane values are normalized to e->type().elem. */
+    Value eval(const ExprPtr &e);
+
+  private:
+    Value eval_impl(const Expr &e);
+
+    const Env &env_;
+    std::unordered_map<const Expr *, Value> memo_;
+};
+
+/** One-shot convenience wrapper around Interpreter. */
+Value evaluate(const ExprPtr &e, const Env &env);
+
+} // namespace rake::hir
+
+#endif // RAKE_HIR_INTERP_H

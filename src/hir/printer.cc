@@ -1,0 +1,162 @@
+#include "hir/printer.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace rake::hir {
+
+namespace {
+
+void
+print_infix(std::ostringstream &os, const ExprPtr &e)
+{
+    switch (e->op()) {
+      case Op::Load:
+        os << to_string(e->load_ref());
+        return;
+      case Op::Const:
+        os << e->const_value();
+        return;
+      case Op::Var:
+        os << e->var_name();
+        return;
+      case Op::Broadcast:
+        os << "x" << e->type().lanes << "(";
+        print_infix(os, e->arg(0));
+        os << ")";
+        return;
+      case Op::Cast:
+        os << to_string(e->type()) << "(";
+        print_infix(os, e->arg(0));
+        os << ")";
+        return;
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+      case Op::ShiftLeft:
+      case Op::ShiftRight:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Lt:
+      case Op::Le:
+      case Op::Eq: {
+        const char *sym = "?";
+        switch (e->op()) {
+          case Op::Add:
+            sym = " + ";
+            break;
+          case Op::Sub:
+            sym = " - ";
+            break;
+          case Op::Mul:
+            sym = " * ";
+            break;
+          case Op::ShiftLeft:
+            sym = " << ";
+            break;
+          case Op::ShiftRight:
+            sym = " >> ";
+            break;
+          case Op::And:
+            sym = " & ";
+            break;
+          case Op::Or:
+            sym = " | ";
+            break;
+          case Op::Xor:
+            sym = " ^ ";
+            break;
+          case Op::Lt:
+            sym = " < ";
+            break;
+          case Op::Le:
+            sym = " <= ";
+            break;
+          case Op::Eq:
+            sym = " == ";
+            break;
+          default:
+            break;
+        }
+        os << "(";
+        print_infix(os, e->arg(0));
+        os << sym;
+        print_infix(os, e->arg(1));
+        os << ")";
+        return;
+      }
+      default: {
+        // Function-call style for min/max/absd/select/not.
+        os << to_string(e->op()) << "(";
+        for (int i = 0; i < e->num_args(); ++i) {
+            if (i)
+                os << ", ";
+            print_infix(os, e->arg(i));
+        }
+        os << ")";
+        return;
+      }
+    }
+}
+
+void
+print_sexpr(std::ostringstream &os, const ExprPtr &e)
+{
+    switch (e->op()) {
+      case Op::Load:
+        os << "(load " << to_string(e->type()) << " "
+           << e->load_ref().buffer << " " << e->load_ref().dx << " "
+           << e->load_ref().dy << ")";
+        return;
+      case Op::Const:
+        os << "(const " << to_string(e->type()) << " " << e->const_value()
+           << ")";
+        return;
+      case Op::Var:
+        os << "(var " << to_string(e->type()) << " " << e->var_name()
+           << ")";
+        return;
+      case Op::Broadcast:
+        os << "(broadcast " << e->type().lanes << " ";
+        print_sexpr(os, e->arg(0));
+        os << ")";
+        return;
+      case Op::Cast:
+        os << "(cast " << to_string(e->type().elem) << " ";
+        print_sexpr(os, e->arg(0));
+        os << ")";
+        return;
+      default:
+        os << "(" << to_string(e->op());
+        for (int i = 0; i < e->num_args(); ++i) {
+            os << " ";
+            print_sexpr(os, e->arg(i));
+        }
+        os << ")";
+        return;
+    }
+}
+
+} // namespace
+
+std::string
+to_string(const ExprPtr &e)
+{
+    RAKE_CHECK(e != nullptr, "printing null expression");
+    std::ostringstream os;
+    print_infix(os, e);
+    return os.str();
+}
+
+std::string
+to_sexpr(const ExprPtr &e)
+{
+    RAKE_CHECK(e != nullptr, "printing null expression");
+    std::ostringstream os;
+    print_sexpr(os, e);
+    return os.str();
+}
+
+} // namespace rake::hir

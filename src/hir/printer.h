@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Human-readable and s-expression renderings of HIR.
+ *
+ * The s-expression format round-trips through hir/sexpr.h, mirroring
+ * the Racket interchange format the paper's implementation uses
+ * between Halide (C++) and Rake (Rosette).
+ */
+#ifndef RAKE_HIR_PRINTER_H
+#define RAKE_HIR_PRINTER_H
+
+#include <string>
+
+#include "hir/expr.h"
+
+namespace rake::hir {
+
+/** Infix, Halide-flavoured rendering (for logs and reports). */
+std::string to_string(const ExprPtr &e);
+
+/** Parenthesized s-expression rendering (machine round-trippable). */
+std::string to_sexpr(const ExprPtr &e);
+
+} // namespace rake::hir
+
+#endif // RAKE_HIR_PRINTER_H

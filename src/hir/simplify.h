@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Structural simplifier for HIR.
+ *
+ * Performs the normalizations Halide's own lowering would have done
+ * before Rake ever sees an expression: constant folding, algebraic
+ * identities (x*1, x+0, x<<0), redundant min/max against type bounds,
+ * and collapse of value-preserving cast chains. Keeping inputs in this
+ * normal form shrinks the synthesis search space.
+ */
+#ifndef RAKE_HIR_SIMPLIFY_H
+#define RAKE_HIR_SIMPLIFY_H
+
+#include "hir/expr.h"
+
+namespace rake::hir {
+
+/** Return a simplified expression semantically equal to `e`. */
+ExprPtr simplify(const ExprPtr &e);
+
+} // namespace rake::hir
+
+#endif // RAKE_HIR_SIMPLIFY_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Executable semantics of the HVX instruction model.
+ *
+ * This is the C++ analogue of the Racket HVX interpreter the paper's
+ * implementation hand-wrote for the LLVM HVX intrinsics (§6). All
+ * equivalence proofs between HIR and generated HVX code go through
+ * this interpreter.
+ */
+#ifndef RAKE_HVX_INTERP_H
+#define RAKE_HVX_INTERP_H
+
+#include <functional>
+#include <unordered_map>
+
+#include "base/value.h"
+#include "hvx/instr.h"
+
+namespace rake::hvx {
+
+/**
+ * Oracle supplying the value of a sketch hole (??load / ??swizzle)
+ * during sketch verification: hole id + environment -> value.
+ */
+using HoleOracle = std::function<Value(int, const Env &)>;
+
+/** Evaluate an HVX instruction DAG under an environment. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Env &env, HoleOracle oracle = nullptr)
+        : env_(env), oracle_(std::move(oracle))
+    {
+    }
+
+    Value eval(const InstrPtr &n);
+
+  private:
+    Value eval_impl(const Instr &n);
+
+    const Env &env_;
+    HoleOracle oracle_;
+    std::unordered_map<const Instr *, Value> memo_;
+};
+
+/** One-shot convenience wrapper. */
+Value evaluate(const InstrPtr &n, const Env &env);
+
+/** Reinterpret a value's bytes (little-endian) as another elem type. */
+Value bitcast(const Value &v, ScalarType out_elem);
+
+} // namespace rake::hvx
+
+#endif // RAKE_HVX_INTERP_H

@@ -1,0 +1,111 @@
+#include "hvx/isa.h"
+
+#include "support/error.h"
+
+namespace rake::hvx {
+
+std::string
+to_string(Resource r)
+{
+    switch (r) {
+      case Resource::Load:
+        return "load";
+      case Resource::Mpy:
+        return "mpy";
+      case Resource::Shift:
+        return "shift";
+      case Resource::Permute:
+        return "permute";
+      case Resource::Alu:
+        return "alu";
+      case Resource::None:
+        return "none";
+    }
+    RAKE_UNREACHABLE("bad Resource");
+}
+
+namespace {
+
+// Latency model: multiplies take 2 cycles on the HVX mpy array; all
+// other vector ops complete in 1; register-file renames are free.
+constexpr int kMpyLat = 2;
+
+const OpcodeInfo kTable[kNumOpcodes] = {
+    // mnemonic        resource           lat swz    comp   imm args
+    {"vmem",           Resource::Load,    1, false, false, 0, 0}, // VRead
+    {"vsplat",         Resource::None,    0, false, false, 0, 0}, // VSplat
+    {"vbitcast",       Resource::None,    0, true,  false, 0, 1}, // VBitcast
+    {"vcombine",       Resource::Permute, 1, true,  false, 0, 2},
+    {"vhi",            Resource::None,    0, true,  false, 0, 1},
+    {"vlo",            Resource::None,    0, true,  false, 0, 1},
+    {"valign",         Resource::Permute, 1, true,  false, 1, 2},
+    {"vror",           Resource::Permute, 1, true,  false, 1, 1},
+    {"vshuffvdd",      Resource::Permute, 1, true,  false, 0, 1},
+    {"vdealvdd",       Resource::Permute, 1, true,  false, 0, 1},
+    {"vmux",           Resource::Alu,     1, true,  false, 0, 3},
+    {"vpacke",         Resource::Permute, 1, false, true,  0, 2},
+    {"vpacko",         Resource::Permute, 1, false, true,  0, 2},
+    {"vsat",           Resource::Alu,     1, false, true,  0, 2},
+    {"vpack.sat",      Resource::Permute, 1, false, true,  0, 2},
+    {"vzxt",           Resource::Permute, 1, false, true,  0, 1},
+    {"vsxt",           Resource::Permute, 1, false, true,  0, 1},
+    {"vadd",           Resource::Alu,     1, false, true,  0, 2},
+    {"vadd.sat",       Resource::Alu,     1, false, true,  0, 2},
+    {"vsub",           Resource::Alu,     1, false, true,  0, 2},
+    {"vsub.sat",       Resource::Alu,     1, false, true,  0, 2},
+    {"vavg",           Resource::Alu,     1, false, true,  0, 2},
+    {"vavg.rnd",       Resource::Alu,     1, false, true,  0, 2},
+    {"vnavg",          Resource::Alu,     1, false, true,  0, 2},
+    {"vabsdiff",       Resource::Alu,     1, false, true,  0, 2},
+    {"vmax",           Resource::Alu,     1, false, true,  0, 2},
+    {"vmin",           Resource::Alu,     1, false, true,  0, 2},
+    {"vand",           Resource::Alu,     1, false, true,  0, 2},
+    {"vor",            Resource::Alu,     1, false, true,  0, 2},
+    {"vxor",           Resource::Alu,     1, false, true,  0, 2},
+    {"vnot",           Resource::Alu,     1, false, true,  0, 1},
+    {"vcmp.gt",        Resource::Alu,     1, false, true,  0, 2},
+    {"vcmp.eq",        Resource::Alu,     1, false, true,  0, 2},
+    {"vasl",           Resource::Shift,   1, false, true,  1, 1},
+    {"vasr",           Resource::Shift,   1, false, true,  1, 1},
+    {"vasr.rnd",       Resource::Shift,   1, false, true,  1, 1},
+    {"vlsr",           Resource::Shift,   1, false, true,  1, 1},
+    {"vasr.n",         Resource::Shift,   1, false, true,  1, 2},
+    {"vasr.n.sat",     Resource::Shift,   1, false, true,  1, 2},
+    {"vasr.n.rnd.sat", Resource::Shift,   1, false, true,  1, 2},
+    {"vround.sat",     Resource::Shift,   1, false, true,  0, 2},
+    {"vmpy",           Resource::Mpy, kMpyLat, false, true, 0, 2},
+    {"vmpy.acc",       Resource::Mpy, kMpyLat, false, true, 0, 3},
+    {"vmpyi",          Resource::Mpy, kMpyLat, false, true, 0, 2},
+    {"vmpyi.acc",      Resource::Mpy, kMpyLat, false, true, 0, 3},
+    {"vmpa",           Resource::Mpy, kMpyLat, false, true, 2, 2},
+    {"vmpa.acc",       Resource::Mpy, kMpyLat, false, true, 2, 3},
+    {"vtmpy",          Resource::Mpy, kMpyLat, false, true, 2, 2},
+    {"vtmpy.acc",      Resource::Mpy, kMpyLat, false, true, 2, 3},
+    {"vdmpy",          Resource::Mpy, kMpyLat, false, true, 2, 2},
+    {"vdmpy.acc",      Resource::Mpy, kMpyLat, false, true, 2, 3},
+    {"vrmpy",          Resource::Mpy, kMpyLat, false, true, 4, 2},
+    {"vrmpy.acc",      Resource::Mpy, kMpyLat, false, true, 4, 3},
+    {"vrmpy.dot",      Resource::Mpy, kMpyLat, false, true, 0, 2},
+    {"vrmpy.dot.acc",  Resource::Mpy, kMpyLat, false, true, 0, 3},
+    {"vmpyie",         Resource::Mpy, kMpyLat, false, true, 0, 2},
+    {"vmpyio",         Resource::Mpy, kMpyLat, false, true, 0, 2},
+    {"??swizzle",      Resource::None,    0, true,  false, 1, 0}, // Hole
+};
+
+} // namespace
+
+const OpcodeInfo &
+info(Opcode op)
+{
+    const int i = static_cast<int>(op);
+    RAKE_CHECK(i >= 0 && i < kNumOpcodes, "bad opcode " << i);
+    return kTable[i];
+}
+
+std::string
+to_string(Opcode op)
+{
+    return info(op).mnemonic;
+}
+
+} // namespace rake::hvx

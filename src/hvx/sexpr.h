@@ -1,0 +1,29 @@
+/**
+ * @file
+ * S-expression interchange for synthesized HVX code.
+ *
+ * The paper's implementation converts the s-expressions Rake
+ * synthesizes back into Halide IR through a parser inside Halide
+ * (§6). This module provides the same round-trippable interchange for
+ * our HVX instruction DAGs, so generated code can be exported,
+ * stored, or re-imported by a consumer the way the paper's
+ * Halide/Racket bridge does.
+ */
+#ifndef RAKE_HVX_SEXPR_H
+#define RAKE_HVX_SEXPR_H
+
+#include <string>
+
+#include "hvx/instr.h"
+
+namespace rake::hvx {
+
+/** Render an instruction DAG as one s-expression. */
+std::string to_sexpr(const InstrPtr &n);
+
+/** Parse an instruction back; throws UserError on malformed input. */
+InstrPtr parse_instr(const std::string &text);
+
+} // namespace rake::hvx
+
+#endif // RAKE_HVX_SEXPR_H

@@ -1,0 +1,258 @@
+#include "neon/instr.h"
+
+#include <map>
+#include <sstream>
+
+#include "hir/printer.h"
+#include "support/error.h"
+
+namespace rake::neon {
+
+std::string
+to_string(NOp op)
+{
+    switch (op) {
+      case NOp::Ld1:
+        return "vld1";
+      case NOp::Dup:
+        return "vdup";
+      case NOp::Bitcast:
+        return "vreinterpret";
+      case NOp::Movl:
+        return "vmovl";
+      case NOp::Add:
+        return "vadd";
+      case NOp::Qadd:
+        return "vqadd";
+      case NOp::Sub:
+        return "vsub";
+      case NOp::Mul:
+        return "vmul";
+      case NOp::Mla:
+        return "vmla";
+      case NOp::Mull:
+        return "vmull";
+      case NOp::Mlal:
+        return "vmlal";
+      case NOp::Abd:
+        return "vabd";
+      case NOp::Min:
+        return "vmin";
+      case NOp::Max:
+        return "vmax";
+      case NOp::Hadd:
+        return "vhadd";
+      case NOp::Rhadd:
+        return "vrhadd";
+      case NOp::Shl:
+        return "vshl";
+      case NOp::Sshr:
+        return "vshr.s";
+      case NOp::Ushr:
+        return "vshr.u";
+      case NOp::Rshr:
+        return "vrshr";
+      case NOp::Xtn:
+        return "vmovn";
+      case NOp::Qxtn:
+        return "vqmovn";
+      case NOp::Shrn:
+        return "vshrn";
+      case NOp::Qrshrn:
+        return "vqrshrn";
+      case NOp::Cmgt:
+        return "vcgt";
+      case NOp::Cmeq:
+        return "vceq";
+      case NOp::Bsl:
+        return "vbsl";
+      case NOp::And:
+        return "vand";
+      case NOp::Orr:
+        return "vorr";
+      case NOp::Eor:
+        return "veor";
+      case NOp::Not:
+        return "vmvn";
+    }
+    RAKE_UNREACHABLE("bad NOp");
+}
+
+NInstrPtr
+NInstr::make_load(hir::LoadRef ref, VecType type)
+{
+    RAKE_USER_CHECK(type.lanes >= 1, "vld1 must load >= 1 lane");
+    return NInstrPtr(
+        new NInstr(NOp::Ld1, type, {}, {}, ref, nullptr));
+}
+
+NInstrPtr
+NInstr::make_dup(hir::ExprPtr scalar, int lanes)
+{
+    RAKE_USER_CHECK(scalar != nullptr && scalar->type().lanes == 1,
+                    "vdup payload must be scalar");
+    VecType t(scalar->type().elem, lanes);
+    return NInstrPtr(new NInstr(NOp::Dup, t, {}, {}, hir::LoadRef{},
+                                std::move(scalar)));
+}
+
+NInstrPtr
+NInstr::make(NOp op, std::vector<NInstrPtr> args,
+             std::vector<int64_t> imms, ScalarType out_elem)
+{
+    RAKE_USER_CHECK(op != NOp::Ld1 && op != NOp::Dup,
+                    "use the dedicated factory");
+    RAKE_USER_CHECK(!args.empty(), to_string(op) << " needs operands");
+    for (const auto &a : args)
+        RAKE_USER_CHECK(a != nullptr, "null operand");
+    const VecType a0 = args[0]->type();
+    VecType result = a0;
+
+    switch (op) {
+      case NOp::Bitcast:
+        RAKE_USER_CHECK(bits(out_elem) == bits(a0.elem),
+                        "vreinterpret here only swaps signedness");
+        result = a0.with_elem(out_elem);
+        break;
+      case NOp::Movl:
+        RAKE_USER_CHECK(args.size() == 1 && bits(a0.elem) < 64,
+                        "bad vmovl");
+        result = a0.with_elem(widen(a0.elem));
+        break;
+      case NOp::Mull:
+        RAKE_USER_CHECK(args.size() == 2 &&
+                            args[1]->type().elem == a0.elem,
+                        "vmull operand mismatch");
+        result = a0.with_elem(widen(a0.elem));
+        break;
+      case NOp::Mlal:
+        RAKE_USER_CHECK(args.size() == 3 &&
+                            args[1]->type().elem ==
+                                args[2]->type().elem &&
+                            bits(a0.elem) ==
+                                2 * bits(args[1]->type().elem),
+                        "vmlal operand mismatch");
+        result = a0;
+        break;
+      case NOp::Mla:
+        RAKE_USER_CHECK(args.size() == 3, "vmla is ternary");
+        break;
+      case NOp::Xtn:
+      case NOp::Qxtn:
+        RAKE_USER_CHECK(args.size() == 1 && bits(a0.elem) > 8,
+                        "bad narrow");
+        result = op == NOp::Xtn ? a0.with_elem(narrow(a0.elem))
+                                : a0.with_elem(out_elem);
+        if (op == NOp::Qxtn) {
+            RAKE_USER_CHECK(bits(out_elem) * 2 == bits(a0.elem),
+                            "vqmovn must halve the width");
+        }
+        break;
+      case NOp::Shrn:
+      case NOp::Qrshrn:
+        RAKE_USER_CHECK(args.size() == 1 && imms.size() == 1 &&
+                            bits(a0.elem) > 8,
+                        "bad narrowing shift");
+        result = op == NOp::Shrn ? a0.with_elem(narrow(a0.elem))
+                                 : a0.with_elem(out_elem);
+        if (op == NOp::Qrshrn) {
+            RAKE_USER_CHECK(bits(out_elem) * 2 == bits(a0.elem),
+                            "vqrshrn must halve the width");
+        }
+        break;
+      case NOp::Shl:
+      case NOp::Sshr:
+      case NOp::Ushr:
+      case NOp::Rshr:
+        RAKE_USER_CHECK(args.size() == 1 && imms.size() == 1,
+                        "shift takes one operand and one immediate");
+        break;
+      case NOp::Cmgt:
+      case NOp::Cmeq:
+        RAKE_USER_CHECK(args.size() == 2, "compare is binary");
+        result = a0.with_elem(ScalarType::Int8);
+        break;
+      case NOp::Bsl:
+        RAKE_USER_CHECK(args.size() == 3 &&
+                            args[1]->type() == args[2]->type(),
+                        "vbsl operand mismatch");
+        result = args[1]->type();
+        break;
+      case NOp::Not:
+        RAKE_USER_CHECK(args.size() == 1, "vmvn is unary");
+        break;
+      default:
+        RAKE_USER_CHECK(args.size() == 2 && args[1]->type() == a0,
+                        to_string(op) << " operand mismatch");
+        break;
+    }
+    return NInstrPtr(new NInstr(op, result, std::move(args),
+                                std::move(imms), hir::LoadRef{},
+                                nullptr));
+}
+
+int
+NInstr::instruction_count() const
+{
+    int n = op_ == NOp::Bitcast ? 0 : 1;
+    for (const auto &a : args_)
+        n += a->instruction_count();
+    return n;
+}
+
+namespace {
+
+int
+emit(const NInstrPtr &n, std::map<const NInstr *, int> &reg,
+     std::ostringstream &os, int &next)
+{
+    auto it = reg.find(n.get());
+    if (it != reg.end())
+        return it->second;
+    std::vector<int> arg_regs;
+    for (const auto &a : n->args())
+        arg_regs.push_back(emit(a, reg, os, next));
+    const int r = next++;
+    reg.emplace(n.get(), r);
+    os << "  q" << r << ":" << to_string(n->type()) << " = "
+       << to_string(n->op());
+    os << "(";
+    bool first = true;
+    if (n->op() == NOp::Ld1) {
+        os << hir::to_string(n->load_ref());
+        first = false;
+    }
+    if (n->op() == NOp::Dup) {
+        os << hir::to_string(n->dup_value());
+        first = false;
+    }
+    for (int ar : arg_regs) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "q" << ar;
+    }
+    for (int64_t imm : n->imms()) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "#" << imm;
+    }
+    os << ")\n";
+    return r;
+}
+
+} // namespace
+
+std::string
+to_listing(const NInstrPtr &n)
+{
+    RAKE_CHECK(n != nullptr, "printing null instruction");
+    std::ostringstream os;
+    std::map<const NInstr *, int> reg;
+    int next = 0;
+    emit(n, reg, os, next);
+    return os.str();
+}
+
+} // namespace rake::neon

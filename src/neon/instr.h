@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Preliminary ARM Neon backend (paper §6, "Extending to other ISAs").
+ *
+ * The paper reports that the uber-instructions derived for HVX can be
+ * re-used for ARM "with only slight modifications", because both ISAs
+ * target the same fixed-point compute patterns. This module
+ * demonstrates exactly that: the *same* Uber-Instruction IR produced
+ * by the lifting stage lowers onto a Neon instruction model instead.
+ *
+ * Neon differs from HVX in the dimension the paper highlights: its
+ * compute instructions perform no implicit data movement (no
+ * deinterleaved register pairs), so the layout parameterization of
+ * §5.1 is unnecessary and the lowering is a direct greedy mapping —
+ * the "preliminary" port the paper describes, not a full search.
+ */
+#ifndef RAKE_NEON_INSTR_H
+#define RAKE_NEON_INSTR_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/type.h"
+#include "hir/expr.h"
+
+namespace rake::neon {
+
+/** Neon opcode families (type variants selected by the node type). */
+enum class NOp : uint8_t {
+    Ld1,    ///< vector load
+    Dup,    ///< broadcast a scalar (vdup)
+    Bitcast,///< free register reinterpretation (vreinterpret)
+    Movl,   ///< widening move (sxtl / uxtl)
+    Add,    ///< vadd
+    Qadd,   ///< saturating add (vqadd)
+    Sub,    ///< vsub
+    Mul,    ///< non-widening multiply (vmul)
+    Mla,    ///< non-widening multiply-accumulate (vmla)
+    Mull,   ///< widening multiply (vmull)
+    Mlal,   ///< widening multiply-accumulate (vmlal)
+    Abd,    ///< absolute difference (vabd)
+    Min,    ///< vmin
+    Max,    ///< vmax
+    Hadd,   ///< halving add (vhadd)
+    Rhadd,  ///< rounding halving add (vrhadd)
+    Shl,    ///< shift left immediate (vshl)
+    Sshr,   ///< arithmetic shift right immediate (vshr.s)
+    Ushr,   ///< logical shift right immediate (vshr.u)
+    Rshr,   ///< rounding shift right immediate (vrshr)
+    Xtn,    ///< truncating narrow (vmovn)
+    Qxtn,   ///< saturating narrow (vqmovn / vqmovun)
+    Shrn,   ///< truncating shift-right narrow (vshrn)
+    Qrshrn, ///< saturating rounding shift-right narrow (vqrshrn/un)
+    Cmgt,   ///< compare greater-than (vcgt)
+    Cmeq,   ///< compare equal (vceq)
+    Bsl,    ///< bitwise select (vbsl)
+    And,
+    Orr,
+    Eor,
+    Not,
+};
+
+std::string to_string(NOp op);
+
+class NInstr;
+using NInstrPtr = std::shared_ptr<const NInstr>;
+
+/** An immutable Neon instruction node (linear lane semantics). */
+class NInstr
+{
+  public:
+    static NInstrPtr make_load(hir::LoadRef ref, VecType type);
+    static NInstrPtr make_dup(hir::ExprPtr scalar, int lanes);
+    static NInstrPtr make(NOp op, std::vector<NInstrPtr> args,
+                          std::vector<int64_t> imms = {},
+                          ScalarType out_elem = ScalarType::Int32);
+
+    NOp op() const { return op_; }
+    const VecType &type() const { return type_; }
+    const std::vector<NInstrPtr> &args() const { return args_; }
+    const NInstrPtr &arg(int i) const { return args_[i]; }
+    int num_args() const { return static_cast<int>(args_.size()); }
+    const std::vector<int64_t> &imms() const { return imms_; }
+    const hir::LoadRef &load_ref() const { return load_; }
+    const hir::ExprPtr &dup_value() const { return dup_; }
+
+    /** Instructions in the tree, not counting free reinterprets. */
+    int instruction_count() const;
+
+  private:
+    NInstr(NOp op, VecType type, std::vector<NInstrPtr> args,
+           std::vector<int64_t> imms, hir::LoadRef load,
+           hir::ExprPtr dup)
+        : op_(op), type_(type), args_(std::move(args)),
+          imms_(std::move(imms)), load_(load), dup_(std::move(dup))
+    {
+    }
+
+    NOp op_;
+    VecType type_;
+    std::vector<NInstrPtr> args_;
+    std::vector<int64_t> imms_;
+    hir::LoadRef load_;
+    hir::ExprPtr dup_;
+};
+
+/** Flat listing renderer (one instruction per line). */
+std::string to_listing(const NInstrPtr &n);
+
+} // namespace rake::neon
+
+#endif // RAKE_NEON_INSTR_H

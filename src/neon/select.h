@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Preliminary Uber-Instruction-IR -> Neon lowering and interpreter
+ * (paper §6): demonstrates that the HVX-derived uber-instructions
+ * retarget to ARM with only a new per-instruction mapping — the
+ * lifting stage is reused verbatim.
+ */
+#ifndef RAKE_NEON_SELECT_H
+#define RAKE_NEON_SELECT_H
+
+#include <optional>
+
+#include "base/value.h"
+#include "neon/instr.h"
+#include "uir/uexpr.h"
+
+namespace rake::neon {
+
+/** Evaluate a Neon instruction tree (linear lane semantics). */
+Value evaluate(const NInstrPtr &n, const Env &env);
+
+/**
+ * Greedily lower a lifted expression to Neon. Returns nullopt when an
+ * uber-instruction has no mapping in this preliminary port (e.g.
+ * saturating multiply-add chains).
+ */
+std::optional<NInstrPtr> lower_to_neon(const uir::UExprPtr &lifted);
+
+/**
+ * Full flow: lift the HIR expression with the shared lifting stage,
+ * then lower to Neon. The caller should cross-check the result
+ * against the HIR interpreter (tests do).
+ */
+std::optional<NInstrPtr> select_instructions(const hir::ExprPtr &expr);
+
+} // namespace rake::neon
+
+#endif // RAKE_NEON_SELECT_H

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The paper's 21-benchmark suite (§7, Table 1), authored as lowered
+ * Halide-IR vector expressions.
+ *
+ * Kernels come from the Halide repository and the Hexagon SDK
+ * samples: image processing (blurs, edge detection, dilation,
+ * convolutions), machine learning (TFLite-style layers), the
+ * Frankencamera pipeline, and quantized matrix multiplication. The
+ * Sobel expression reproduces the paper's Fig. 3 verbatim.
+ */
+#ifndef RAKE_PIPELINE_BENCHMARKS_H
+#define RAKE_PIPELINE_BENCHMARKS_H
+
+#include "pipeline/compiler.h"
+
+namespace rake::pipeline {
+
+/** The full 21-benchmark suite, in Table 1 order. */
+const std::vector<Benchmark> &benchmark_suite();
+
+/** Look up one benchmark by name; throws UserError if unknown. */
+const Benchmark &benchmark(const std::string &name);
+
+/** The Sobel vector expression of Fig. 3 (used by several benches). */
+hir::ExprPtr sobel_expr();
+
+} // namespace rake::pipeline
+
+#endif // RAKE_PIPELINE_BENCHMARKS_H

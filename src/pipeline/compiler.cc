@@ -1,0 +1,118 @@
+#include "pipeline/compiler.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "hir/interp.h"
+#include "hvx/interp.h"
+#include "support/error.h"
+
+namespace rake::pipeline {
+
+namespace {
+
+double
+now_seconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+void
+validate_against_reference(const hir::ExprPtr &ref,
+                           const hvx::InstrPtr &impl, int trials,
+                           uint64_t seed)
+{
+    synth::Spec spec = synth::Spec::from_expr(ref);
+    synth::ExamplePool pool(spec, seed);
+    for (int i = 0; i < trials + 5; ++i) {
+        const Env &env = pool.at(i);
+        const Value expected = hir::evaluate(ref, env);
+        const Value actual = hvx::evaluate(impl, env);
+        RAKE_CHECK(expected == actual,
+                   "generated code disagrees with the reference on "
+                   "example "
+                       << i << ": expected " << to_string(expected)
+                       << ", got " << to_string(actual));
+    }
+}
+
+BenchmarkResult
+compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
+{
+    BenchmarkResult result;
+    result.name = bench.name;
+    result.optimized_exprs = static_cast<int>(bench.exprs.size());
+
+    const double t0 = now_seconds();
+    for (const KernelExpr &kernel : bench.exprs) {
+        ExprCompilation ec;
+        ec.kernel = &kernel;
+
+        if (std::getenv("RAKE_TRACE"))
+            fprintf(stderr, "[compile] %s: baseline\n",
+                    kernel.name.c_str());
+        // Baseline (Halide's pattern-matching selector).
+        ec.baseline = baseline::select_instructions(
+            kernel.expr, opts.rake.target, opts.baseline);
+
+        // Rake (three-stage synthesis). Falls back to the baseline's
+        // code when synthesis cannot produce a verified result.
+        if (std::getenv("RAKE_TRACE"))
+            fprintf(stderr, "[compile] %s: rake\n", kernel.name.c_str());
+        auto rk = synth::select_instructions(kernel.expr, opts.rake);
+        if (rk) {
+            ec.rake = rk->instr;
+            ec.rake_result = *rk;
+            result.lifting_queries += rk->lift.total_queries();
+            result.lifting_seconds += rk->lift.total_seconds();
+            result.sketch_queries += rk->lower.sketch.queries;
+            result.sketch_seconds += rk->lower.sketch.seconds;
+            result.swizzle_queries += rk->lower.swizzle.queries;
+            result.swizzle_seconds += rk->lower.swizzle.seconds;
+        }
+
+        if (opts.validate) {
+            if (std::getenv("RAKE_TRACE"))
+                fprintf(stderr, "[compile] %s: validate\n",
+                        kernel.name.c_str());
+            validate_against_reference(kernel.expr, ec.baseline,
+                                       opts.validate_trials, 17);
+            if (ec.rake)
+                validate_against_reference(kernel.expr, ec.rake,
+                                           opts.validate_trials, 17);
+        }
+
+        ec.baseline_sched = sim::schedule(ec.baseline, opts.rake.target,
+                                          opts.machine);
+        const hvx::InstrPtr rake_code = ec.rake ? ec.rake : ec.baseline;
+        ec.rake_sched =
+            sim::schedule(rake_code, opts.rake.target, opts.machine);
+
+        // §7.3 cross-expression layout penalty (see Benchmark):
+        // charged once, to the first expression of the pipeline.
+        if (bench.rake_boundary_penalty > 0 &&
+            &kernel == &bench.exprs.front()) {
+            ec.rake_sched.initiation_interval +=
+                bench.rake_boundary_penalty;
+            ec.rake_sched.schedule_length +=
+                bench.rake_boundary_penalty;
+        }
+
+        result.baseline_cycles +=
+            ec.baseline_sched.cycles(kernel.iterations);
+        result.rake_cycles += ec.rake_sched.cycles(kernel.iterations);
+        result.exprs.push_back(std::move(ec));
+    }
+    result.total_seconds = now_seconds() - t0;
+    result.speedup = result.rake_cycles > 0
+                         ? static_cast<double>(result.baseline_cycles) /
+                               static_cast<double>(result.rake_cycles)
+                         : 0.0;
+    return result;
+}
+
+} // namespace rake::pipeline

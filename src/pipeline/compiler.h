@@ -1,0 +1,104 @@
+/**
+ * @file
+ * End-to-end compilation driver (paper Fig. 1).
+ *
+ * A Benchmark is a set of vectorized Halide-IR expressions (the
+ * "qualifying vector expressions" Rake extracts from the lowered
+ * Halide program) plus loop trip counts. The driver compiles each
+ * expression twice — through the pattern-matching baseline and
+ * through Rake — functionally validates both against the HIR
+ * interpreter, schedules both on the VLIW machine model, and reports
+ * cycles, speedups and per-stage synthesis statistics (Fig. 11 /
+ * Table 1).
+ */
+#ifndef RAKE_PIPELINE_COMPILER_H
+#define RAKE_PIPELINE_COMPILER_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/halide_optimizer.h"
+#include "sim/simulator.h"
+#include "synth/rake.h"
+
+namespace rake::pipeline {
+
+/** One vectorized expression extracted from a kernel's inner loop. */
+struct KernelExpr {
+    std::string name;     ///< human label (e.g. "row-conv")
+    hir::ExprPtr expr;    ///< the lowered vector expression
+    int64_t iterations = 4096; ///< inner-loop trips over the image
+};
+
+/** A benchmark: a named set of kernel expressions. */
+struct Benchmark {
+    std::string name;
+    std::string category; ///< paper §7 grouping
+    std::vector<KernelExpr> exprs;
+
+    /**
+     * Extra per-iteration permute issues charged to Rake's schedule,
+     * modeling the paper's §7.3 limitation: Rake optimizes each
+     * expression individually and cannot re-layout intermediate
+     * buffers across expressions the way Halide's whole-pipeline
+     * optimizer can. Non-zero only for the benchmarks the paper calls
+     * out (depthwise_conv, average_pool).
+     */
+    int rake_boundary_penalty = 0;
+};
+
+/** Per-expression compilation artifacts. */
+struct ExprCompilation {
+    const KernelExpr *kernel = nullptr;
+    hvx::InstrPtr baseline;
+    hvx::InstrPtr rake;            ///< null when Rake fell back
+    std::optional<synth::RakeResult> rake_result;
+    sim::ScheduleStats baseline_sched;
+    sim::ScheduleStats rake_sched;
+};
+
+/** Whole-benchmark outcome. */
+struct BenchmarkResult {
+    std::string name;
+    std::vector<ExprCompilation> exprs;
+    int64_t baseline_cycles = 0;
+    int64_t rake_cycles = 0;
+    double speedup = 0.0;
+
+    // Aggregated Table 1 statistics.
+    int optimized_exprs = 0;
+    int lifting_queries = 0;
+    int sketch_queries = 0;
+    int swizzle_queries = 0;
+    double lifting_seconds = 0.0;
+    double sketch_seconds = 0.0;
+    double swizzle_seconds = 0.0;
+    double total_seconds = 0.0;
+};
+
+/** Driver configuration. */
+struct CompileOptions {
+    synth::RakeOptions rake;
+    baseline::BaselineOptions baseline;
+    sim::MachineModel machine;
+    bool validate = true; ///< cross-check both codegens vs HIR
+    int validate_trials = 4;
+};
+
+/** Compile, validate, and simulate one benchmark. */
+BenchmarkResult compile_benchmark(const Benchmark &bench,
+                                  const CompileOptions &opts = {});
+
+/**
+ * Functional cross-check of an HVX implementation against the HIR
+ * reference on `trials` randomized environments. Throws
+ * InternalError on mismatch.
+ */
+void validate_against_reference(const hir::ExprPtr &ref,
+                                const hvx::InstrPtr &impl, int trials,
+                                uint64_t seed);
+
+} // namespace rake::pipeline
+
+#endif // RAKE_PIPELINE_COMPILER_H

@@ -1,0 +1,127 @@
+#include "pipeline/executor.h"
+
+#include <cmath>
+#include <limits>
+
+#include "hir/analysis.h"
+#include "hir/interp.h"
+#include "hvx/interp.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace rake::pipeline {
+
+Image
+Image::synthetic(ScalarType elem, int w, int h, uint64_t seed)
+{
+    Image img(elem, w, h);
+    Rng rng(seed);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            // A smooth gradient plus deterministic texture noise.
+            const int64_t smooth = (x * 5 + y * 3) % 200;
+            const int64_t noise = rng.range(0, 55);
+            img.at(x, y) = wrap(elem, smooth + noise);
+        }
+    }
+    return img;
+}
+
+namespace {
+
+/** Build an Env whose buffers alias whole input images. */
+Env
+env_for(const std::map<int, Image> &inputs,
+        const std::map<std::string, int64_t> &scalars)
+{
+    Env env;
+    for (const auto &[id, img] : inputs) {
+        Buffer buf(img.elem, img.width, img.height, 0, 0);
+        buf.data = img.pixels;
+        env.buffers.emplace(id, std::move(buf));
+    }
+    env.scalars = scalars;
+    return env;
+}
+
+template <typename EvalFn>
+Image
+run_impl(VecType out_type, const std::map<int, Image> &inputs,
+         const std::map<std::string, int64_t> &scalars, EvalFn &&eval)
+{
+    RAKE_USER_CHECK(!inputs.empty(), "no input images");
+    const Image &primary = inputs.begin()->second;
+    RAKE_USER_CHECK(primary.width % out_type.lanes == 0,
+                    "image width " << primary.width
+                                   << " must be a multiple of the "
+                                      "vector lane count "
+                                   << out_type.lanes);
+
+    Image out(out_type.elem, primary.width, primary.height);
+    Env env = env_for(inputs, scalars);
+    for (int y = 0; y < primary.height; ++y) {
+        for (int x = 0; x < primary.width; x += out_type.lanes) {
+            env.x = x;
+            env.y = y;
+            const Value v = eval(env);
+            for (int i = 0; i < out_type.lanes; ++i)
+                out.at(x + i, y) = v[i];
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Image
+run_tiles(const hvx::InstrPtr &code, const std::map<int, Image> &inputs,
+          const std::map<std::string, int64_t> &scalars)
+{
+    RAKE_USER_CHECK(code != nullptr, "null code");
+    return run_impl(code->type(), inputs, scalars,
+                    [&](const Env &env) {
+                        return hvx::evaluate(code, env);
+                    });
+}
+
+Image
+run_tiles_reference(const hir::ExprPtr &expr,
+                    const std::map<int, Image> &inputs,
+                    const std::map<std::string, int64_t> &scalars)
+{
+    RAKE_USER_CHECK(expr != nullptr, "null expression");
+    return run_impl(expr->type(), inputs, scalars,
+                    [&](const Env &env) {
+                        return hir::evaluate(expr, env);
+                    });
+}
+
+int64_t
+count_mismatches(const Image &a, const Image &b)
+{
+    RAKE_USER_CHECK(a.width == b.width && a.height == b.height,
+                    "image sizes differ");
+    int64_t n = 0;
+    for (size_t i = 0; i < a.pixels.size(); ++i)
+        n += a.pixels[i] != b.pixels[i];
+    return n;
+}
+
+double
+psnr(const Image &a, const Image &b)
+{
+    RAKE_USER_CHECK(a.width == b.width && a.height == b.height,
+                    "image sizes differ");
+    double mse = 0.0;
+    for (size_t i = 0; i < a.pixels.size(); ++i) {
+        const double d =
+            static_cast<double>(a.pixels[i] - b.pixels[i]);
+        mse += d * d;
+    }
+    mse /= static_cast<double>(a.pixels.size());
+    if (mse == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+} // namespace rake::pipeline

@@ -1,0 +1,86 @@
+#include "pipeline/report.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace rake::pipeline {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::add_row(std::vector<std::string> cells)
+{
+    RAKE_CHECK(cells.size() == headers_.size(),
+               "row width " << cells.size() << " != header width "
+                            << headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::to_string() const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ") << std::left
+               << std::setw(static_cast<int>(width[c])) << row[c];
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    std::string sep;
+    for (size_t c = 0; c < headers_.size(); ++c)
+        sep += std::string(width[c], '-') + (c + 1 < headers_.size()
+                                                 ? "  "
+                                                 : "");
+    os << sep << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string
+speedup_bar(const BenchmarkResult &r, double max_speedup)
+{
+    const int max_width = 40;
+    const int bar = std::max(
+        1, static_cast<int>(r.speedup / max_speedup * max_width));
+    std::ostringstream os;
+    os << std::left << std::setw(16) << r.name << " " << std::setw(6)
+       << fmt(r.speedup) << "x  " << std::string(bar, '#');
+    return os.str();
+}
+
+} // namespace rake::pipeline

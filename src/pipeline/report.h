@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table rendering helpers for the benchmark harnesses
+ * (Fig. 11 bars, Table 1 rows, Fig. 4/12 codegen listings).
+ */
+#ifndef RAKE_PIPELINE_REPORT_H
+#define RAKE_PIPELINE_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "pipeline/compiler.h"
+
+namespace rake::pipeline {
+
+/** Fixed-width text table builder. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string to_string() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmt(double v, int precision = 2);
+
+/** Geometric mean of a list of ratios. */
+double geomean(const std::vector<double> &values);
+
+/** One Fig.-11-style row: name, cycles, speedup, ASCII bar. */
+std::string speedup_bar(const BenchmarkResult &r, double max_speedup);
+
+} // namespace rake::pipeline
+
+#endif // RAKE_PIPELINE_REPORT_H

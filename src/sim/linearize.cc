@@ -1,0 +1,92 @@
+#include "sim/linearize.h"
+
+#include <unordered_map>
+
+#include "support/error.h"
+
+namespace rake::sim {
+
+namespace {
+
+struct HashByStructure {
+    size_t
+    operator()(const hvx::InstrPtr &n) const
+    {
+        return n->hash();
+    }
+};
+
+struct EqByStructure {
+    bool
+    operator()(const hvx::InstrPtr &a, const hvx::InstrPtr &b) const
+    {
+        return a->equals(*b);
+    }
+};
+
+class Linearizer
+{
+  public:
+    hvx::InstrPtr
+    visit(const hvx::InstrPtr &n)
+    {
+        auto it = canon_.find(n);
+        if (it != canon_.end())
+            return it->second;
+        // Canonicalize children first so structurally equal subtrees
+        // share nodes in the output.
+        std::vector<hvx::InstrPtr> args;
+        bool changed = false;
+        for (const auto &a : n->args()) {
+            args.push_back(visit(a));
+            changed |= args.back() != a;
+        }
+        hvx::InstrPtr canon = n;
+        if (changed) {
+            switch (n->op()) {
+              case hvx::Opcode::VRead:
+              case hvx::Opcode::VSplat:
+                RAKE_UNREACHABLE("leaves have no children");
+              default:
+                canon = hvx::Instr::make(n->op(), std::move(args),
+                                         n->imms(), n->type().elem);
+                break;
+            }
+        }
+        auto it2 = canon_.find(canon);
+        if (it2 != canon_.end()) {
+            canon_.emplace(n, it2->second);
+            return it2->second;
+        }
+        canon_.emplace(n, canon);
+        if (canon != n)
+            canon_.emplace(canon, canon);
+        order_.push_back(canon);
+        return canon;
+    }
+
+    std::vector<hvx::InstrPtr>
+    take()
+    {
+        return std::move(order_);
+    }
+
+  private:
+    std::unordered_map<hvx::InstrPtr, hvx::InstrPtr, HashByStructure,
+                       EqByStructure>
+        canon_;
+    std::vector<hvx::InstrPtr> order_;
+};
+
+} // namespace
+
+std::vector<hvx::InstrPtr>
+linearize(const hvx::InstrPtr &root)
+{
+    RAKE_CHECK(root != nullptr, "linearize of null DAG");
+    Linearizer lin;
+    lin.visit(root);
+    return lin.take();
+}
+
+} // namespace rake::sim

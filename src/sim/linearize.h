@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Linearization of HVX instruction DAGs into issue order.
+ *
+ * Produces a topological ordering (operands before users) with
+ * structural deduplication: nodes that are structurally identical are
+ * emitted once, mirroring the common-subexpression elimination LLVM
+ * performs before packetizing.
+ */
+#ifndef RAKE_SIM_LINEARIZE_H
+#define RAKE_SIM_LINEARIZE_H
+
+#include <vector>
+
+#include "hvx/instr.h"
+
+namespace rake::sim {
+
+/**
+ * Topologically ordered unique instructions of the DAG rooted at
+ * `root`. Structurally equal nodes are merged.
+ */
+std::vector<hvx::InstrPtr> linearize(const hvx::InstrPtr &root);
+
+} // namespace rake::sim
+
+#endif // RAKE_SIM_LINEARIZE_H

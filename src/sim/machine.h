@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Machine model of the Hexagon HVX VLIW cluster used by the cycle
+ * simulator.
+ *
+ * This is the stand-in for Qualcomm's Hexagon Simulator v8.3.07 (see
+ * DESIGN.md, substitutions): a resource/latency model of packetized
+ * execution. Per packet, up to `slots` instructions issue, subject to
+ * per-resource unit availability: one vector memory port, two
+ * multiply contexts, one shift unit, one permute network, and two
+ * lane-parallel ALUs.
+ */
+#ifndef RAKE_SIM_MACHINE_H
+#define RAKE_SIM_MACHINE_H
+
+#include <array>
+
+#include "hvx/cost.h"
+#include "hvx/isa.h"
+
+namespace rake::sim {
+
+/** Per-packet issue constraints of the modeled HVX cluster. */
+struct MachineModel {
+    /** Maximum instructions per VLIW packet. */
+    int slots = 4;
+
+    /**
+     * Functional units per resource, indexed by hvx::Resource:
+     * load, mpy, shift, permute, alu.
+     */
+    std::array<int, hvx::kNumCostedResources> units = {1, 2, 1, 2, 2};
+
+    int
+    units_for(hvx::Resource r) const
+    {
+        return units[static_cast<int>(r)];
+    }
+};
+
+} // namespace rake::sim
+
+#endif // RAKE_SIM_MACHINE_H

@@ -1,0 +1,159 @@
+#include "sim/simulator.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "hvx/printer.h"
+#include "sim/linearize.h"
+#include "support/error.h"
+
+namespace rake::sim {
+
+ScheduleStats
+schedule(const hvx::InstrPtr &root, const hvx::Target &target,
+         const MachineModel &machine)
+{
+    const std::vector<hvx::InstrPtr> order = linearize(root);
+
+    ScheduleStats stats;
+    stats.packet_of.assign(order.size(), 0);
+
+    // Per-packet free capacity, grown on demand.
+    struct PacketState {
+        int free_slots;
+        std::array<int, hvx::kNumCostedResources> free_units;
+    };
+    std::vector<PacketState> packets;
+    auto packet_at = [&](size_t p) -> PacketState & {
+        while (packets.size() <= p) {
+            PacketState ps;
+            ps.free_slots = machine.slots;
+            ps.free_units = machine.units;
+            packets.push_back(ps);
+        }
+        return packets[p];
+    };
+
+    std::unordered_map<const hvx::Instr *, int> ready; // result-ready packet
+    std::array<int, hvx::kNumCostedResources> demand = {};
+    int last_packet = 0;
+    // Row-register reuse: the steady-state loop keeps each input row
+    // in registers across x-iterations, so only the first vector read
+    // of a (buffer, row) pair issues a load; further reads of the
+    // same row are served from registers (this is the reuse Halide's
+    // HVX codegen and the paper's latency accounting both assume).
+    std::set<std::pair<int, int>> loaded_rows;
+
+    for (size_t idx = 0; idx < order.size(); ++idx) {
+        const hvx::InstrPtr &n = order[idx];
+        const hvx::OpcodeInfo &oi = hvx::info(n->op());
+        int issues = hvx::issue_count(*n, target);
+        if (n->op() == hvx::Opcode::VRead) {
+            const auto row = std::make_pair(n->load_ref().buffer,
+                                            n->load_ref().dy);
+            if (!loaded_rows.insert(row).second)
+                issues = 0; // same-row re-read: register reuse
+        }
+
+        // Earliest packet where all operands are available.
+        int earliest = 0;
+        for (const auto &a : n->args()) {
+            auto it = ready.find(a.get());
+            if (it != ready.end())
+                earliest = std::max(earliest, it->second);
+        }
+
+        if (issues == 0) {
+            // Free rename: available as soon as operands are.
+            ready[n.get()] = earliest;
+            stats.packet_of[idx] = earliest;
+            continue;
+        }
+
+        const int res = static_cast<int>(oi.resource);
+        demand[res] += issues;
+        stats.instructions += issues;
+
+        // Greedy placement, one issue at a time: a register-pair
+        // operation occupies its functional unit in consecutive
+        // packets when the unit count is exhausted.
+        int p = earliest;
+        int last_issue_packet = earliest;
+        for (int k = 0; k < issues; ++k) {
+            while (true) {
+                PacketState &ps = packet_at(p);
+                if (ps.free_slots >= 1 && ps.free_units[res] >= 1)
+                    break;
+                ++p;
+            }
+            PacketState &ps = packet_at(p);
+            ps.free_slots -= 1;
+            ps.free_units[res] -= 1;
+            last_issue_packet = p;
+        }
+        stats.packet_of[idx] = last_issue_packet;
+        ready[n.get()] = last_issue_packet + oi.latency;
+        last_packet =
+            std::max(last_packet, last_issue_packet + oi.latency);
+    }
+
+    // The loop body ends by storing the result vector(s). Hexagon
+    // provides a dedicated store slot, so stores consume packet slots
+    // and store-port bandwidth but do not contend with the load port.
+    int store_issues = target.regs_for(root->type());
+    {
+        int p = std::max(0, last_packet);
+        for (int k = 0; k < store_issues; ++k) {
+            while (packet_at(p).free_slots < 1)
+                ++p;
+            packet_at(p).free_slots -= 1;
+            last_packet = std::max(last_packet, p);
+        }
+        stats.instructions += store_issues;
+    }
+
+    stats.schedule_length = last_packet + 1;
+
+    // Steady-state initiation interval: the most contended resource,
+    // but never below the slot-bandwidth or store-port bounds.
+    int ii = (stats.instructions + machine.slots - 1) / machine.slots;
+    ii = std::max(ii, store_issues);
+    for (int r = 0; r < hvx::kNumCostedResources; ++r) {
+        const int u = machine.units[r];
+        ii = std::max(ii, (demand[r] + u - 1) / u);
+    }
+    stats.initiation_interval = std::max(ii, 1);
+    return stats;
+}
+
+std::string
+to_string(const ScheduleStats &stats,
+          const std::vector<hvx::InstrPtr> &order)
+{
+    RAKE_CHECK(stats.packet_of.size() == order.size(),
+               "schedule/order size mismatch");
+    std::map<int, std::vector<size_t>> by_packet;
+    for (size_t i = 0; i < order.size(); ++i)
+        by_packet[stats.packet_of[i]].push_back(i);
+
+    std::ostringstream os;
+    os << "schedule: " << stats.schedule_length << " packets, II="
+       << stats.initiation_interval << ", " << stats.instructions
+       << " instructions\n";
+    for (const auto &[p, idxs] : by_packet) {
+        os << "  { ";
+        bool first = true;
+        for (size_t i : idxs) {
+            if (!first)
+                os << "; ";
+            first = false;
+            os << hvx::concrete_name(*order[i]);
+        }
+        os << " }  // packet " << p << "\n";
+    }
+    return os.str();
+}
+
+} // namespace rake::sim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Cycle simulator for generated HVX instruction DAGs.
+ *
+ * The loop body is list-scheduled into VLIW packets (dependencies,
+ * latencies, per-resource units, slot count), yielding the schedule
+ * length. The steady-state loop throughput is the modulo-scheduling
+ * lower bound: the initiation interval implied by the most contended
+ * resource. A benchmark running N iterations then costs
+ *     schedule_length + (N - 1) * initiation_interval
+ * cycles — the standard software-pipelined loop model, which is what
+ * Hexagon's tooling achieves on these kernels.
+ */
+#ifndef RAKE_SIM_SIMULATOR_H
+#define RAKE_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hvx/cost.h"
+#include "hvx/instr.h"
+#include "sim/machine.h"
+
+namespace rake::sim {
+
+/** Result of scheduling one loop body. */
+struct ScheduleStats {
+    int schedule_length = 0;      ///< packets to drain one iteration
+    int initiation_interval = 0;  ///< steady-state packets/iteration
+    int instructions = 0;         ///< issued instructions (incl. pairs)
+    std::vector<int> packet_of;   ///< packet index per linear instr
+
+    /** Total cycles for `iterations` software-pipelined iterations. */
+    int64_t
+    cycles(int64_t iterations) const
+    {
+        if (iterations <= 0)
+            return 0;
+        return schedule_length +
+               (iterations - 1) *
+                   static_cast<int64_t>(initiation_interval);
+    }
+};
+
+/** Schedule one loop body (the DAG rooted at `root`). */
+ScheduleStats schedule(const hvx::InstrPtr &root,
+                       const hvx::Target &target,
+                       const MachineModel &machine);
+
+/** Render a packet-by-packet view of the schedule (for reports). */
+std::string to_string(const ScheduleStats &stats,
+                      const std::vector<hvx::InstrPtr> &order);
+
+} // namespace rake::sim
+
+#endif // RAKE_SIM_SIMULATOR_H

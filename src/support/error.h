@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Error handling primitives for the Rake library.
+ *
+ * Two failure categories, mirroring the fatal/panic split common in
+ * systems simulators:
+ *  - InternalError: a bug in Rake itself (broken invariant). Raised by
+ *    RAKE_CHECK / RAKE_UNREACHABLE.
+ *  - UserError: invalid input handed to a public API (malformed
+ *    expression, type mismatch in a user-built IR, unparsable s-expr).
+ */
+#ifndef RAKE_SUPPORT_ERROR_H
+#define RAKE_SUPPORT_ERROR_H
+
+#include <cstdlib>
+#include <execinfo.h>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+
+namespace rake {
+
+/** Raised when an internal invariant of the library is violated. */
+class InternalError : public std::logic_error {
+  public:
+    explicit InternalError(const std::string &msg)
+        : std::logic_error("rake internal error: " + msg) {}
+};
+
+/** Raised when user-supplied input is invalid. */
+class UserError : public std::runtime_error {
+  public:
+    explicit UserError(const std::string &msg)
+        : std::runtime_error("rake: " + msg) {}
+};
+
+namespace detail {
+
+/** Builds the message for a failed check and throws InternalError. */
+[[noreturn]] inline void
+check_failed(const char *cond, const char *file, int line,
+             const std::string &msg)
+{
+    std::ostringstream os;
+    os << "check `" << cond << "` failed at " << file << ":" << line;
+    if (!msg.empty())
+        os << ": " << msg;
+    if (std::getenv("RAKE_BACKTRACE")) {
+        void *frames[48];
+        const int n = backtrace(frames, 48);
+        backtrace_symbols_fd(frames, n, STDERR_FILENO);
+    }
+    throw InternalError(os.str());
+}
+
+} // namespace detail
+
+} // namespace rake
+
+/** Assert an internal invariant; throws rake::InternalError on failure. */
+#define RAKE_CHECK(cond, msg)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream rake_check_os_;                             \
+            rake_check_os_ << msg;                                         \
+            ::rake::detail::check_failed(#cond, __FILE__, __LINE__,        \
+                                         rake_check_os_.str());            \
+        }                                                                  \
+    } while (0)
+
+/** Mark a code path that must never execute. */
+#define RAKE_UNREACHABLE(msg)                                              \
+    do {                                                                   \
+        std::ostringstream rake_check_os_;                                 \
+        rake_check_os_ << msg;                                             \
+        ::rake::detail::check_failed("unreachable", __FILE__, __LINE__,    \
+                                     rake_check_os_.str());                \
+    } while (0)
+
+/** Validate user input; throws rake::UserError on failure. */
+#define RAKE_USER_CHECK(cond, msg)                                         \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream rake_user_os_;                              \
+            rake_user_os_ << msg;                                          \
+            throw ::rake::UserError(rake_user_os_.str());                  \
+        }                                                                  \
+    } while (0)
+
+#endif // RAKE_SUPPORT_ERROR_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomized components of Rake (counter-example search, example
+ * generation for CEGIS) draw from this seeded generator so that every
+ * synthesis run, test, and benchmark is reproducible.
+ */
+#ifndef RAKE_SUPPORT_RNG_H
+#define RAKE_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace rake {
+
+/**
+ * A small, fast, deterministic PRNG (xorshift128+ variant).
+ *
+ * Not cryptographically secure; used only to generate test inputs for
+ * counter-example-guided synthesis.
+ */
+class Rng {
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // Split the seed into two non-zero state words.
+        s0_ = seed ^ 0xdeadbeefcafebabeull;
+        s1_ = seed * 0x2545f4914f6cdd1dull + 1;
+        if (s0_ == 0)
+            s0_ = 1;
+        if (s1_ == 0)
+            s1_ = 2;
+        // Warm up to decorrelate from the seed.
+        for (int i = 0; i < 8; ++i)
+            next();
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = s0_;
+        const uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform value in [lo, hi] (inclusive). Requires lo <= hi. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        if (span == 0) // full 64-bit range
+            return static_cast<int64_t>(next());
+        return lo + static_cast<int64_t>(next() % span);
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool
+    chance(uint64_t num, uint64_t den)
+    {
+        return next() % den < num;
+    }
+
+  private:
+    uint64_t s0_;
+    uint64_t s1_;
+};
+
+} // namespace rake
+
+#endif // RAKE_SUPPORT_RNG_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Lifting from HIR to the Uber-Instruction IR (paper §3, Algorithm 1).
+ *
+ * A bottom-up enumerative synthesis: each HIR node's children are
+ * lifted first, then the node itself is lifted by the first of three
+ * rules whose candidate verifies against the CEGIS oracle:
+ *
+ *  - update  — re-parameterize the top uber-instruction of a lifted
+ *              child (grow a vs-mpy-add kernel, fold a shift into the
+ *              weights, absorb rounding constants, toggle the
+ *              saturate flag of a narrow, ...);
+ *  - replace — swap the child's top uber-instruction for a different
+ *              one (widen -> vs-mpy-add, shift chains -> average,
+ *              ...);
+ *  - extend  — append a fresh uber-instruction over the lifted
+ *              children (always succeeds: every HIR op has a direct
+ *              uber-instruction image).
+ *
+ * Candidates are generated syntactically but accepted *semantically*:
+ * every candidate is equivalence-checked against the HIR node on the
+ * CEGIS example pool, so the lifter discovers rewrites (redundant
+ * clamps, rounding folds, saturation) that no syntactic rule spells
+ * out — the paper's "semantic reasoning" improvements.
+ */
+#ifndef RAKE_SYNTH_LIFT_H
+#define RAKE_SYNTH_LIFT_H
+
+#include "synth/verify.h"
+#include "uir/uexpr.h"
+
+namespace rake::synth {
+
+/** Instrumentation for Table 1. */
+struct LiftStats {
+    QueryStats update;
+    QueryStats replace;
+    QueryStats extend;
+
+    int total_queries() const
+    {
+        return update.queries + replace.queries + extend.queries;
+    }
+    double total_seconds() const
+    {
+        return update.seconds + replace.seconds + extend.seconds;
+    }
+};
+
+/** Outcome of lifting one expression. */
+struct LiftResult {
+    uir::UExprPtr expr;
+    LiftStats stats;
+};
+
+/** Lift the spec's expression into the Uber-Instruction IR. */
+LiftResult lift_to_uir(Verifier &verifier);
+
+} // namespace rake::synth
+
+#endif // RAKE_SYNTH_LIFT_H

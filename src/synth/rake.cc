@@ -1,0 +1,50 @@
+#include "synth/rake.h"
+
+#include "hir/simplify.h"
+#include "support/error.h"
+
+namespace rake::synth {
+
+std::optional<RakeResult>
+select_instructions(const hir::ExprPtr &expr, const RakeOptions &opts)
+{
+    RAKE_USER_CHECK(expr != nullptr, "null expression");
+
+    // Normalize the input the way Halide's lowering would have.
+    hir::ExprPtr normalized = hir::simplify(expr);
+
+    Spec spec = Spec::from_expr(normalized);
+    ExamplePool pool(spec, opts.seed);
+    Verifier verifier(spec, pool, opts.verifier);
+
+    RakeResult result;
+
+    // Stage 1: lift to the Uber-Instruction IR (Algorithm 1).
+    LiftResult lifted = lift_to_uir(verifier);
+    result.lifted = lifted.expr;
+    result.lift = lifted.stats;
+    if (!lifted.expr)
+        return std::nullopt;
+
+    // Stages 2+3: sketch synthesis and swizzle synthesis
+    // (Algorithm 2).
+    auto lowered = lower_to_hvx(verifier, lifted.expr, opts.target,
+                                opts.lower);
+    if (!lowered)
+        return std::nullopt;
+    result.instr = lowered->instr;
+    result.lower = lowered->stats;
+
+    // Optional final SMT proof on selected lanes (§4.1 incremental
+    // verification, with the original un-simplified expression as the
+    // reference).
+    if (opts.z3_prove) {
+        ProofOutcome outcome = z3_check(expr, result.instr, spec);
+        result.proof = outcome.result;
+        if (outcome.result == ProofResult::Refuted)
+            return std::nullopt;
+    }
+    return result;
+}
+
+} // namespace rake::synth

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The top-level Rake instruction selector: lift to Uber-Instruction
+ * IR, lower to HVX, optionally prove the result with z3.
+ *
+ * This is the public entry point a compiler embeds (Fig. 1): hand it
+ * one vectorized HIR expression, get back a verified HVX instruction
+ * DAG plus the per-stage synthesis statistics reported in Table 1.
+ */
+#ifndef RAKE_SYNTH_RAKE_H
+#define RAKE_SYNTH_RAKE_H
+
+#include <optional>
+
+#include "synth/lift.h"
+#include "synth/lower.h"
+#include "synth/z3_verify.h"
+
+namespace rake::synth {
+
+/** Configuration of one Rake run. */
+struct RakeOptions {
+    hvx::Target target;
+    LowerOptions lower;
+    VerifierOptions verifier;
+    bool z3_prove = false;  ///< final SMT proof of the selected code
+    uint64_t seed = 1;      ///< example-pool seed
+};
+
+/** Everything a Rake run produces. */
+struct RakeResult {
+    hvx::InstrPtr instr;        ///< selected HVX implementation
+    uir::UExprPtr lifted;       ///< intermediate Uber-Instruction IR
+    LiftStats lift;             ///< Table 1: lifting columns
+    LowerStats lower;           ///< Table 1: sketch + swizzle columns
+    ProofResult proof = ProofResult::Unknown; ///< z3 outcome if asked
+};
+
+/**
+ * Run instruction selection on one vector expression. Returns
+ * nullopt when Rake cannot produce a verified implementation (the
+ * caller should fall back to its default selector).
+ */
+std::optional<RakeResult> select_instructions(const hir::ExprPtr &expr,
+                                              const RakeOptions &opts
+                                              = {});
+
+} // namespace rake::synth
+
+#endif // RAKE_SYNTH_RAKE_H

@@ -1,0 +1,80 @@
+#include "synth/sketch.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "support/error.h"
+
+namespace rake::synth {
+
+namespace {
+
+hvx::InstrPtr
+substitute(const hvx::InstrPtr &n,
+           const std::vector<hvx::InstrPtr> &solutions,
+           std::unordered_map<const hvx::Instr *, hvx::InstrPtr> &memo)
+{
+    auto it = memo.find(n.get());
+    if (it != memo.end())
+        return it->second;
+
+    hvx::InstrPtr result;
+    if (n->op() == hvx::Opcode::Hole) {
+        const int id = n->hole_id();
+        RAKE_CHECK(id >= 0 && id < static_cast<int>(solutions.size()) &&
+                       solutions[id] != nullptr,
+                   "missing swizzle solution for hole " << id);
+        RAKE_CHECK(solutions[id]->type() == n->type(),
+                   "swizzle solution type mismatch for hole "
+                       << id << ": " << to_string(solutions[id]->type())
+                       << " vs " << to_string(n->type()));
+        // A solution may pass through a source subtree that itself
+        // contains earlier holes (a ??swizzle over sketch values);
+        // keep substituting inside it.
+        result = substitute(solutions[id], solutions, memo);
+    } else if (n->num_args() == 0) {
+        result = n;
+    } else {
+        std::vector<hvx::InstrPtr> args;
+        bool changed = false;
+        for (const auto &a : n->args()) {
+            args.push_back(substitute(a, solutions, memo));
+            changed |= args.back() != a;
+        }
+        result = changed ? hvx::Instr::make(n->op(), std::move(args),
+                                            n->imms(), n->type().elem)
+                         : n;
+    }
+    memo.emplace(n.get(), result);
+    return result;
+}
+
+void
+collect_holes(const hvx::InstrPtr &n, std::set<int> &ids)
+{
+    if (n->op() == hvx::Opcode::Hole)
+        ids.insert(n->hole_id());
+    for (const auto &a : n->args())
+        collect_holes(a, ids);
+}
+
+} // namespace
+
+hvx::InstrPtr
+substitute_holes(const hvx::InstrPtr &root,
+                 const std::vector<hvx::InstrPtr> &solutions)
+{
+    RAKE_CHECK(root != nullptr, "substitute on null sketch");
+    std::unordered_map<const hvx::Instr *, hvx::InstrPtr> memo;
+    return substitute(root, solutions, memo);
+}
+
+std::vector<int>
+holes_in(const hvx::InstrPtr &root)
+{
+    std::set<int> ids;
+    collect_holes(root, ids);
+    return std::vector<int>(ids.begin(), ids.end());
+}
+
+} // namespace rake::synth

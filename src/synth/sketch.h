@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Swizzle-free sketches (paper §4).
+ *
+ * A sketch is a partial HVX implementation: compute instructions are
+ * concrete, data movement is abstracted behind Hole nodes whose
+ * meanings are lane arrangements (symbolic vectors). SketchBuilder
+ * allocates holes while a lowering template constructs the tree;
+ * substitute_holes grafts the synthesized swizzle programs back in
+ * once every hole is concretized.
+ */
+#ifndef RAKE_SYNTH_SKETCH_H
+#define RAKE_SYNTH_SKETCH_H
+
+#include <string>
+#include <vector>
+
+#include "hvx/instr.h"
+#include "synth/symbolic_vector.h"
+
+namespace rake::synth {
+
+/** A swizzle-free sketch: instruction tree + hole table. */
+struct Sketch {
+    hvx::InstrPtr root;
+    std::vector<Hole> holes;
+    std::string note; ///< template name, for reports and debugging
+
+    bool defined() const { return root != nullptr; }
+};
+
+/** Allocates holes while a template builds its instruction tree. */
+class SketchBuilder
+{
+  public:
+    /** New hole of `type` requiring `cells` over `sources`. */
+    hvx::InstrPtr
+    hole(VecType type, Arrangement cells,
+         std::vector<hvx::InstrPtr> sources = {})
+    {
+        RAKE_CHECK(static_cast<int>(cells.size()) == type.lanes,
+                   "hole arrangement size mismatch: "
+                       << cells.size() << " cells for "
+                       << rake::to_string(type));
+        const int id = static_cast<int>(holes_.size());
+        holes_.push_back(Hole{type, std::move(cells),
+                              std::move(sources)});
+        return hvx::Instr::make_hole(id, type);
+    }
+
+    /**
+     * Hole that re-lays-out an existing value: the output must hold
+     * lane `perm(i)` of `value` at position i.
+     */
+    hvx::InstrPtr
+    permute_hole(const hvx::InstrPtr &value, Arrangement cells)
+    {
+        const int lanes = static_cast<int>(cells.size());
+        return hole(VecType(value->type().elem, lanes),
+                    std::move(cells), {value});
+    }
+
+    std::vector<Hole>
+    take()
+    {
+        return std::move(holes_);
+    }
+
+    const std::vector<Hole> &holes() const { return holes_; }
+
+  private:
+    std::vector<Hole> holes_;
+};
+
+/**
+ * Replace every Hole node in `root` by its synthesized program.
+ * `solutions[id]` must be non-null for every hole id present.
+ */
+hvx::InstrPtr substitute_holes(const hvx::InstrPtr &root,
+                               const std::vector<hvx::InstrPtr> &solutions);
+
+/** Collect the hole ids present in a sketch tree. */
+std::vector<int> holes_in(const hvx::InstrPtr &root);
+
+} // namespace rake::synth
+
+#endif // RAKE_SYNTH_SKETCH_H

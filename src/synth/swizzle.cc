@@ -1,0 +1,252 @@
+#include "synth/swizzle.h"
+
+#include <chrono>
+
+#include "support/error.h"
+
+namespace rake::synth {
+
+namespace {
+
+double
+now_seconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/** Is `a` exactly one half (lo or hi) of a source? */
+bool
+is_source_half(const Arrangement &a,
+               const std::vector<hvx::InstrPtr> &sources, int *source,
+               bool *hi)
+{
+    if (a.empty() || a[0].kind != Cell::Kind::Src)
+        return false;
+    const int s = a[0].source;
+    if (s >= static_cast<int>(sources.size()))
+        return false;
+    const int src_lanes = sources[s]->type().lanes;
+    const int n = static_cast<int>(a.size());
+    if (src_lanes != 2 * n)
+        return false;
+    for (int offset : {0, n}) {
+        bool match = true;
+        for (int i = 0; i < n; ++i) {
+            const Cell &c = a[i];
+            if (c.kind != Cell::Kind::Src || c.source != s ||
+                c.lane != offset + i) {
+                match = false;
+                break;
+            }
+        }
+        if (match) {
+            *source = s;
+            *hi = offset == n;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+SwizzleSolver::Key
+SwizzleSolver::key_of(const Arrangement &arr, ScalarType elem,
+                      const std::vector<hvx::InstrPtr> &sources)
+{
+    std::vector<const hvx::Instr *> ids;
+    ids.reserve(sources.size());
+    for (const auto &s : sources)
+        ids.push_back(s.get());
+    return std::make_tuple(arr, elem, std::move(ids));
+}
+
+hvx::InstrPtr
+SwizzleSolver::read(int buffer, int dy, int x0, VecType type)
+{
+    auto key = std::make_tuple(buffer, dy, x0, type.lanes, type.elem);
+    auto it = reads_.find(key);
+    if (it != reads_.end())
+        return it->second;
+    hvx::InstrPtr r =
+        hvx::Instr::make_read(hir::LoadRef{buffer, x0, dy}, type);
+    reads_[key] = r;
+    return r;
+}
+
+hvx::InstrPtr
+SwizzleSolver::solve(const Hole &hole, int budget)
+{
+    const double t0 = now_seconds();
+    auto result = search(hole.cells, hole.type.elem, hole.sources,
+                         budget);
+    stats_.seconds += now_seconds() - t0;
+    if (!result) {
+        ++stats_.unsat;
+        return nullptr;
+    }
+    ++stats_.solved;
+    return result->first;
+}
+
+std::optional<std::pair<hvx::InstrPtr, int>>
+SwizzleSolver::search(const Arrangement &arr, ScalarType elem,
+                      const std::vector<hvx::InstrPtr> &sources,
+                      int budget)
+{
+    if (budget < 0)
+        return std::nullopt;
+    const Key key = key_of(arr, elem, sources);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+        const Result &r = it->second;
+        if (r.instr && r.cost <= budget)
+            return std::make_pair(r.instr, r.cost);
+        if (!r.instr && r.tried_budget >= budget)
+            return std::nullopt;
+    }
+    if (!active_.insert(key).second)
+        return std::nullopt; // already exploring this goal
+    struct ActiveGuard {
+        std::set<Key> &set;
+        Key key;
+        ~ActiveGuard() { set.erase(key); }
+    } guard{active_, key};
+
+    const int n = static_cast<int>(arr.size());
+    const VecType type(elem, n);
+    std::optional<std::pair<hvx::InstrPtr, int>> best;
+    auto consider = [&](hvx::InstrPtr instr, int cost) {
+        ++stats_.queries;
+        if (!instr || cost > budget)
+            return;
+        if (!best || cost < best->second)
+            best = std::make_pair(std::move(instr), cost);
+    };
+
+    // Rule: all-zero arrangement -> a zero splat (free in the loop).
+    bool all_zero = true;
+    for (const Cell &c : arr)
+        all_zero &= c.kind == Cell::Kind::Zero;
+    if (all_zero) {
+        consider(hvx::Instr::make_splat(
+                     hir::Expr::make_const(0, VecType(elem, 1)), n),
+                 0);
+    }
+
+    // Rule: contiguous buffer window -> one vector read.
+    {
+        int buffer = 0, dy = 0, x0 = 0;
+        if (is_window(arr, &buffer, &dy, &x0)) {
+            hvx::InstrPtr r = read(buffer, dy, x0, type);
+            consider(r, hvx::issue_count(*r, target_));
+        }
+    }
+
+    // Rule: identity over one source -> the source itself (free).
+    {
+        int source = 0;
+        if (is_source_identity(arr, &source) &&
+            source < static_cast<int>(sources.size()) &&
+            sources[source]->type() == type)
+            consider(sources[source], 0);
+    }
+
+    // Rule: lo / hi half of a source (free register renames).
+    {
+        int source = 0;
+        bool hi = false;
+        if (is_source_half(arr, sources, &source, &hi) &&
+            sources[source]->type().elem == elem) {
+            consider(hvx::Instr::make(hi ? hvx::Opcode::VHi
+                                         : hvx::Opcode::VLo,
+                                      {sources[source]}),
+                     0);
+        }
+    }
+
+    if (best && best->second == 0) {
+        memo_[key] = Result{best->first, best->second, budget};
+        return best;
+    }
+
+    // Rule: interleave of a solvable arrangement (vshuffvdd).
+    if (n % 2 == 0 && budget >= 1) {
+        Arrangement d = deinterleave(arr);
+        if (!(d == arr)) {
+            if (auto sub = search(d, elem, sources, budget - 1)) {
+                consider(hvx::Instr::make(hvx::Opcode::VShuffVdd,
+                                          {sub->first}),
+                         sub->second + 1);
+            }
+        }
+    }
+
+    // Rule: deinterleave of a solvable arrangement (vdealvdd).
+    if (n % 2 == 0 && budget >= 1) {
+        Arrangement s = interleave(arr);
+        if (!(s == arr)) {
+            if (auto sub = search(s, elem, sources, budget - 1)) {
+                consider(hvx::Instr::make(hvx::Opcode::VDealVdd,
+                                          {sub->first}),
+                         sub->second + 1);
+            }
+        }
+    }
+
+    // Rule: concatenation of two solvable halves (vcombine).
+    if (n % 2 == 0 && budget >= 1) {
+        Arrangement lo(arr.begin(), arr.begin() + n / 2);
+        Arrangement hi(arr.begin() + n / 2, arr.end());
+        auto ls = search(lo, elem, sources, budget - 1);
+        if (ls) {
+            auto hs = search(hi, elem, sources,
+                             budget - 1 - ls->second);
+            if (hs) {
+                consider(hvx::Instr::make(hvx::Opcode::VCombine,
+                                          {ls->first, hs->first}),
+                         ls->second + hs->second + 1);
+            }
+        }
+    }
+
+    // Rule: rotation of a structured arrangement (vror). Bounded:
+    // the rotated goal must be a window, a source identity, or one
+    // deal/shuffle away from one — recursing on arbitrary rotations
+    // would make the search space explode.
+    if (budget >= 1) {
+        auto structured = [&](const Arrangement &a) {
+            int b = 0, dy = 0, x0 = 0, source = 0;
+            if (is_window(a, &b, &dy, &x0) ||
+                is_source_identity(a, &source))
+                return true;
+            if (a.size() % 2 == 0) {
+                if (is_window(interleave(a), &b, &dy, &x0) ||
+                    is_window(deinterleave(a), &b, &dy, &x0))
+                    return true;
+            }
+            return false;
+        };
+        for (int r = 1; r < n; ++r) {
+            Arrangement unrot = rotate(arr, n - r);
+            if (!structured(unrot))
+                continue;
+            if (auto sub = search(unrot, elem, sources, budget - 1)) {
+                consider(hvx::Instr::make(hvx::Opcode::VRor,
+                                          {sub->first}, {r}),
+                         sub->second + 1);
+            }
+        }
+    }
+
+    if (best) {
+        memo_[key] = Result{best->first, best->second, budget};
+        return best;
+    }
+    memo_[key] = Result{nullptr, 0, budget};
+    return std::nullopt;
+}
+
+} // namespace rake::synth

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Swizzle synthesis (paper §5): concretize each ??load / ??swizzle
+ * hole into a sequence of real HVX data-movement instructions.
+ *
+ * The solver searches, under an instruction budget, for the cheapest
+ * program in the swizzle grammar — vmem reads, vcombine, vlo/vhi,
+ * vshuffvdd, vdealvdd, vror — whose output lanes realize the hole's
+ * arrangement. Every candidate program tried counts as one swizzling
+ * query (Table 1); the search is memoized per arrangement and
+ * backtracks through the budget exactly as Algorithm 2 requires.
+ */
+#ifndef RAKE_SYNTH_SWIZZLE_H
+#define RAKE_SYNTH_SWIZZLE_H
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "hvx/cost.h"
+#include "synth/symbolic_vector.h"
+
+namespace rake::synth {
+
+/** Instrumentation for Table 1's swizzling columns. */
+struct SwizzleStats {
+    int queries = 0;   ///< candidate swizzle programs examined
+    int solved = 0;    ///< holes successfully concretized
+    int unsat = 0;     ///< holes proven infeasible within budget
+    double seconds = 0.0;
+};
+
+/** Goal-directed, budgeted search for data-movement programs. */
+class SwizzleSolver
+{
+  public:
+    SwizzleSolver(const hvx::Target &target, SwizzleStats &stats)
+        : target_(target), stats_(stats)
+    {
+    }
+
+    /**
+     * Cheapest instruction DAG realizing the hole's arrangement with
+     * total instruction count <= budget; nullptr if unsat within the
+     * budget.
+     */
+    hvx::InstrPtr solve(const Hole &hole, int budget);
+
+  private:
+    struct Result {
+        hvx::InstrPtr instr; ///< null = infeasible at explored budget
+        int cost = 0;        ///< instructions used (when feasible)
+        int tried_budget = 0;///< largest budget explored (when infeasible)
+    };
+
+    /**
+     * Memo key: the goal arrangement, its element type, and the
+     * identities of the source values Src cells refer to (the same
+     * arrangement over different sources is a different goal).
+     */
+    using Key = std::tuple<Arrangement, ScalarType,
+                           std::vector<const hvx::Instr *>>;
+
+    static Key key_of(const Arrangement &arr, ScalarType elem,
+                      const std::vector<hvx::InstrPtr> &sources);
+
+    std::optional<std::pair<hvx::InstrPtr, int>>
+    search(const Arrangement &arr, ScalarType elem,
+           const std::vector<hvx::InstrPtr> &sources, int budget);
+
+    /** Memoized VRead so identical loads share one node. */
+    hvx::InstrPtr read(int buffer, int dy, int x0, VecType type);
+
+    const hvx::Target &target_;
+    SwizzleStats &stats_;
+    std::map<Key, Result> memo_;
+    std::set<Key> active_;
+    std::map<std::tuple<int, int, int, int, ScalarType>, hvx::InstrPtr>
+        reads_;
+};
+
+} // namespace rake::synth
+
+#endif // RAKE_SYNTH_SWIZZLE_H

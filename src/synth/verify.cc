@@ -1,0 +1,89 @@
+#include "synth/verify.h"
+
+#include <chrono>
+
+#include "hir/interp.h"
+#include "support/error.h"
+
+namespace rake::synth {
+
+namespace {
+
+double
+now_seconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+Verifier::Verifier(const Spec &spec, ExamplePool &pool, Options opts)
+    : spec_(spec), pool_(pool), opts_(opts)
+{
+    ref_ = [expr = spec_.expr](const Env &env) {
+        return hir::evaluate(expr, env);
+    };
+}
+
+bool
+Verifier::matches(const Evaluator &ref, const Evaluator &cand,
+                  const Env &env) const
+{
+    const Value expected = ref(env);
+    const Value actual = cand(env);
+    return expected == actual;
+}
+
+bool
+Verifier::equivalent(const Evaluator &cand, QueryStats &stats)
+{
+    return check(ref_, cand, stats);
+}
+
+bool
+Verifier::check(const Evaluator &ref, const Evaluator &cand,
+                QueryStats &stats)
+{
+    const double t0 = now_seconds();
+    ++stats.queries;
+
+    // Phase 1: persistent examples (corner cases + accumulated
+    // counter-examples). Cheap rejection for the vast majority of
+    // wrong candidates.
+    const int persistent = std::max(opts_.base_examples, pool_.size());
+    for (int i = 0; i < persistent; ++i) {
+        if (!matches(ref, cand, pool_.at(i))) {
+            stats.seconds += now_seconds() - t0;
+            return false;
+        }
+    }
+
+    // Phase 2: randomized counter-example search over fresh inputs.
+    // A discovered counter-example joins the persistent pool.
+    const int start = pool_.size();
+    for (int t = 0; t < opts_.trials; ++t) {
+        const Env &env = pool_.at(start + t);
+        if (!matches(ref, cand, env)) {
+            // Keep only this new counter-example; drop the other
+            // fresh environments so the persistent set stays small.
+            Env ce = env;
+            while (pool_.size() > start)
+                pool_.pop();
+            pool_.add(std::move(ce));
+            ++stats.counterexamples;
+            stats.seconds += now_seconds() - t0;
+            return false;
+        }
+    }
+    // Candidate survived; shrink the pool back to the persistent set.
+    while (pool_.size() > start)
+        pool_.pop();
+
+    ++stats.accepted;
+    stats.seconds += now_seconds() - t0;
+    return true;
+}
+
+} // namespace rake::synth

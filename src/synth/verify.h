@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Counter-example-guided equivalence checking (the CEGIS loop of
+ * paper §2.2.1).
+ *
+ * A candidate is first checked against a small set of persistent
+ * example environments (fast rejection); survivors face a randomized
+ * counter-example search over fresh inputs. Any counter-example found
+ * is added to the persistent set, so the same mistake is never
+ * accepted twice — exactly the inductive-synthesis loop, with the
+ * SMT oracle replaced by dense concrete testing plus the optional z3
+ * proof backend in synth/z3_verify.h.
+ */
+#ifndef RAKE_SYNTH_VERIFY_H
+#define RAKE_SYNTH_VERIFY_H
+
+#include <functional>
+
+#include "base/value.h"
+#include "synth/spec.h"
+
+namespace rake::synth {
+
+/** Evaluation closure over an environment. */
+using Evaluator = std::function<Value(const Env &)>;
+
+/** Counters reported per synthesis stage (Table 1). */
+struct QueryStats {
+    int queries = 0;        ///< equivalence queries issued
+    int accepted = 0;       ///< queries that verified
+    int counterexamples = 0;///< candidates killed by the random search
+    double seconds = 0.0;   ///< wall-clock time spent checking
+};
+
+/** Tuning knobs for the CEGIS loop. */
+struct VerifierOptions {
+    int base_examples = 6; ///< corner+random examples always checked
+    int trials = 40;       ///< fresh random inputs per verification
+};
+
+/** CEGIS-style equivalence checker for one spec. */
+class Verifier
+{
+  public:
+    using Options = VerifierOptions;
+
+    Verifier(const Spec &spec, ExamplePool &pool,
+             Options opts = VerifierOptions());
+
+    /**
+     * Is `cand` equivalent to the spec expression on all example and
+     * randomized inputs? Counts toward `stats`.
+     */
+    bool equivalent(const Evaluator &cand, QueryStats &stats);
+
+    /** Equivalence of two arbitrary evaluators over this spec's inputs. */
+    bool check(const Evaluator &ref, const Evaluator &cand,
+               QueryStats &stats);
+
+    const Spec &spec() const { return spec_; }
+    ExamplePool &pool() { return pool_; }
+
+  private:
+    bool matches(const Evaluator &ref, const Evaluator &cand,
+                 const Env &env) const;
+
+    const Spec &spec_;
+    ExamplePool &pool_;
+    Options opts_;
+    Evaluator ref_;
+};
+
+} // namespace rake::synth
+
+#endif // RAKE_SYNTH_VERIFY_H

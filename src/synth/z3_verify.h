@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SMT-backed equivalence proofs via z3 (the paper's Rosette/z3 oracle).
+ *
+ * Expressions from all three IRs are encoded lane-wise into 64-bit
+ * bit-vector terms over symbolic buffer cells and scalar parameters.
+ * Encoding is lazy per output lane, which directly implements the
+ * paper's incremental lane verification (§4.1): proving lane 0 first
+ * rejects most wrong candidates before the full query is ever built.
+ *
+ * When a query is satisfiable, the model is converted back into a
+ * concrete Env so it can join the CEGIS example pool — closing the
+ * full counter-example-guided loop.
+ */
+#ifndef RAKE_SYNTH_Z3_VERIFY_H
+#define RAKE_SYNTH_Z3_VERIFY_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hir/expr.h"
+#include "hvx/instr.h"
+#include "synth/spec.h"
+#include "uir/uexpr.h"
+
+namespace rake::synth {
+
+/** Controls which lanes are proven and the solver budget. */
+struct Z3Options {
+    /** Output lanes to prove equal; empty selects {0, 1, mid, last}. */
+    std::vector<int> lanes;
+    unsigned timeout_ms = 20000;
+};
+
+/** Outcome of a proof attempt. */
+enum class ProofResult {
+    Proved,       ///< unsat: the selected lanes are equal for all inputs
+    Refuted,      ///< sat: a concrete counter-example exists
+    Unknown,      ///< solver timeout / incompleteness
+};
+
+/** Result plus the counter-example when refuted. */
+struct ProofOutcome {
+    ProofResult result = ProofResult::Unknown;
+    std::optional<Env> counterexample;
+};
+
+/** Prove an HVX implementation equal to the HIR reference. */
+ProofOutcome z3_check(const hir::ExprPtr &ref, const hvx::InstrPtr &impl,
+                      const Spec &spec, const Z3Options &opts = {});
+
+/** Prove a UIR lifting equal to the HIR reference. */
+ProofOutcome z3_check(const hir::ExprPtr &ref, const uir::UExprPtr &impl,
+                      const Spec &spec, const Z3Options &opts = {});
+
+/** Prove two HIR expressions equal (used by simplifier tests). */
+ProofOutcome z3_check(const hir::ExprPtr &ref, const hir::ExprPtr &impl,
+                      const Spec &spec, const Z3Options &opts = {});
+
+} // namespace rake::synth
+
+#endif // RAKE_SYNTH_Z3_VERIFY_H

@@ -1,0 +1,143 @@
+#include "uir/interp.h"
+
+#include "base/arith.h"
+#include "hir/interp.h"
+#include "support/error.h"
+
+namespace rake::uir {
+
+namespace {
+
+Value
+eval(const UExprPtr &e, const Env &env)
+{
+    const VecType t = e->type();
+    const ScalarType s = t.elem;
+
+    if (e->op() == UOp::HirLeaf)
+        return hir::evaluate(e->leaf(), env);
+
+    std::vector<Value> args;
+    args.reserve(e->num_args());
+    for (const auto &a : e->args())
+        args.push_back(eval(a, env));
+
+    const UParams &p = e->params();
+    Value v = Value::zero(t);
+
+    switch (e->op()) {
+      case UOp::Widen:
+        // Lane carriers already hold the exact value; widening is
+        // value-preserving by construction.
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = wrap(s, args[0][i]);
+        break;
+      case UOp::Narrow:
+        for (int i = 0; i < t.lanes; ++i) {
+            int64_t x = args[0][i];
+            x = shift_right(x, p.shift, p.round);
+            v[i] = p.saturate ? saturate(s, x) : wrap(s, x);
+        }
+        break;
+      case UOp::VsMpyAdd:
+        for (int i = 0; i < t.lanes; ++i) {
+            int64_t acc = 0;
+            for (size_t k = 0; k < args.size(); ++k)
+                acc += args[k][i] * p.kernel[k];
+            v[i] = p.saturate ? saturate(s, acc) : wrap(s, acc);
+        }
+        break;
+      case UOp::VvMpyAdd:
+        for (int i = 0; i < t.lanes; ++i) {
+            int64_t acc = 0;
+            for (size_t k = 0; k + 1 < args.size(); k += 2)
+                acc += args[k][i] * args[k + 1][i];
+            v[i] = p.saturate ? saturate(s, acc) : wrap(s, acc);
+        }
+        break;
+      case UOp::AbsDiff:
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = wrap(s, abs_diff(args[0][i], args[1][i]));
+        break;
+      case UOp::Min:
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = std::min(args[0][i], args[1][i]);
+        break;
+      case UOp::Max:
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = std::max(args[0][i], args[1][i]);
+        break;
+      case UOp::Average:
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = average(s, args[0][i], args[1][i], p.round);
+        break;
+      case UOp::ShiftLeft:
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = shift_left(s, args[0][i],
+                              static_cast<int>(args[1][i]));
+        break;
+      case UOp::ShiftRight:
+        for (int i = 0; i < t.lanes; ++i) {
+            if (is_signed(s)) {
+                v[i] = wrap(s, shift_right(args[0][i],
+                                           static_cast<int>(args[1][i]),
+                                           p.round));
+            } else {
+                int64_t x = args[0][i];
+                const int n = static_cast<int>(args[1][i]);
+                if (p.round)
+                    x = shift_right(x, n, true);
+                else
+                    x = logical_shift_right(s, x, n);
+                v[i] = wrap(s, x);
+            }
+        }
+        break;
+      case UOp::And:
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = wrap(s, args[0][i] & args[1][i]);
+        break;
+      case UOp::Or:
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = wrap(s, args[0][i] | args[1][i]);
+        break;
+      case UOp::Xor:
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = wrap(s, args[0][i] ^ args[1][i]);
+        break;
+      case UOp::Not:
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = wrap(s, ~args[0][i]);
+        break;
+      case UOp::Lt:
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = args[0][i] < args[1][i] ? 1 : 0;
+        break;
+      case UOp::Le:
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = args[0][i] <= args[1][i] ? 1 : 0;
+        break;
+      case UOp::Eq:
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = args[0][i] == args[1][i] ? 1 : 0;
+        break;
+      case UOp::Select:
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = args[0][i] != 0 ? args[1][i] : args[2][i];
+        break;
+      case UOp::HirLeaf:
+        RAKE_UNREACHABLE("handled above");
+    }
+    return v;
+}
+
+} // namespace
+
+Value
+evaluate(const UExprPtr &e, const Env &env)
+{
+    RAKE_CHECK(e != nullptr, "evaluate of null UIR expression");
+    return eval(e, env);
+}
+
+} // namespace rake::uir

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Interpreter for the Uber-Instruction IR.
+ *
+ * Defines the executable semantics of each uber-instruction (the C++
+ * analogue of the paper's Fig. 6 Racket definitions). The lifting
+ * stage proves HIR/UIR equivalence against this interpreter.
+ */
+#ifndef RAKE_UIR_INTERP_H
+#define RAKE_UIR_INTERP_H
+
+#include "base/value.h"
+#include "uir/uexpr.h"
+
+namespace rake::uir {
+
+/** Evaluate a UIR expression under an environment. */
+Value evaluate(const UExprPtr &e, const Env &env);
+
+} // namespace rake::uir
+
+#endif // RAKE_UIR_INTERP_H

@@ -1,0 +1,80 @@
+#include "uir/printer.h"
+
+#include <sstream>
+
+#include "hir/printer.h"
+#include "support/error.h"
+
+namespace rake::uir {
+
+namespace {
+
+void
+print(std::ostringstream &os, const UExprPtr &e)
+{
+    if (e->op() == UOp::HirLeaf) {
+        const hir::ExprPtr &leaf = e->leaf();
+        switch (leaf->op()) {
+          case hir::Op::Load:
+            os << "(load-data " << hir::to_string(leaf->load_ref()) << ")";
+            return;
+          default:
+            os << "(broadcast " << hir::to_string(leaf) << ")";
+            return;
+        }
+    }
+
+    const UParams &p = e->params();
+    os << "(" << to_string(e->op());
+    for (const auto &a : e->args()) {
+        os << " ";
+        print(os, a);
+    }
+    switch (e->op()) {
+      case UOp::Widen:
+        os << " " << rake::to_string(p.out_elem);
+        break;
+      case UOp::Narrow:
+        os << " [shift: " << p.shift << "] [round: "
+           << (p.round ? "#t" : "#f") << "] [saturating: "
+           << (p.saturate ? "#t" : "#f") << "] [output-type: "
+           << rake::to_string(p.out_elem) << "]";
+        break;
+      case UOp::VsMpyAdd: {
+        os << " [kernel: '(";
+        for (size_t i = 0; i < p.kernel.size(); ++i) {
+            if (i)
+                os << " ";
+            os << p.kernel[i];
+        }
+        os << ")] [saturating: " << (p.saturate ? "#t" : "#f")
+           << "] [output-type: " << rake::to_string(p.out_elem) << "]";
+        break;
+      }
+      case UOp::VvMpyAdd:
+        os << " [saturating: " << (p.saturate ? "#t" : "#f")
+           << "] [output-type: " << rake::to_string(p.out_elem) << "]";
+        break;
+      case UOp::Average:
+      case UOp::ShiftRight:
+        if (p.round)
+            os << " [round: #t]";
+        break;
+      default:
+        break;
+    }
+    os << ")";
+}
+
+} // namespace
+
+std::string
+to_string(const UExprPtr &e)
+{
+    RAKE_CHECK(e != nullptr, "printing null UIR expression");
+    std::ostringstream os;
+    print(os, e);
+    return os.str();
+}
+
+} // namespace rake::uir

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * S-expression-style printer for the Uber-Instruction IR, rendering
+ * expressions in the notation the paper uses (Fig. 5 / Fig. 9).
+ */
+#ifndef RAKE_UIR_PRINTER_H
+#define RAKE_UIR_PRINTER_H
+
+#include <string>
+
+#include "uir/uexpr.h"
+
+namespace rake::uir {
+
+/** Render as a paper-style s-expression. */
+std::string to_string(const UExprPtr &e);
+
+} // namespace rake::uir
+
+#endif // RAKE_UIR_PRINTER_H

@@ -1,0 +1,183 @@
+#include "uir/uexpr.h"
+
+#include "support/error.h"
+
+namespace rake::uir {
+
+std::string
+to_string(UOp op)
+{
+    switch (op) {
+      case UOp::HirLeaf:
+        return "hir-leaf";
+      case UOp::Widen:
+        return "widen";
+      case UOp::Narrow:
+        return "narrow";
+      case UOp::VsMpyAdd:
+        return "vs-mpy-add";
+      case UOp::VvMpyAdd:
+        return "vv-mpy-add";
+      case UOp::AbsDiff:
+        return "abs-diff";
+      case UOp::Min:
+        return "minimum";
+      case UOp::Max:
+        return "maximum";
+      case UOp::Average:
+        return "average";
+      case UOp::ShiftLeft:
+        return "shift-left";
+      case UOp::ShiftRight:
+        return "shift-right";
+      case UOp::And:
+        return "bw-and";
+      case UOp::Or:
+        return "bw-or";
+      case UOp::Xor:
+        return "bw-xor";
+      case UOp::Not:
+        return "bw-not";
+      case UOp::Lt:
+        return "less-than";
+      case UOp::Le:
+        return "less-equal";
+      case UOp::Eq:
+        return "equal";
+      case UOp::Select:
+        return "if-then-else";
+    }
+    RAKE_UNREACHABLE("bad UOp");
+}
+
+UExprPtr
+UExpr::make_leaf(hir::ExprPtr leaf)
+{
+    RAKE_USER_CHECK(leaf != nullptr, "null HIR leaf");
+    const hir::Op op = leaf->op();
+    RAKE_USER_CHECK(op == hir::Op::Load || op == hir::Op::Const ||
+                        op == hir::Op::Var || op == hir::Op::Broadcast,
+                    "UIR leaves must be trivial HIR expressions, got "
+                        << hir::to_string(op));
+    VecType t = leaf->type();
+    return UExprPtr(new UExpr(UOp::HirLeaf, t, {}, {}, std::move(leaf)));
+}
+
+UExprPtr
+UExpr::make(UOp op, std::vector<UExprPtr> args, UParams params)
+{
+    RAKE_USER_CHECK(op != UOp::HirLeaf, "use make_leaf for leaves");
+    RAKE_USER_CHECK(!args.empty(), to_string(op) << " needs arguments");
+    for (const auto &a : args)
+        RAKE_USER_CHECK(a != nullptr, "null argument to " << to_string(op));
+
+    const int lanes = args[0]->type().lanes;
+    for (const auto &a : args) {
+        RAKE_USER_CHECK(a->type().lanes == lanes,
+                        "lane mismatch in " << to_string(op));
+    }
+
+    VecType result = args[0]->type();
+    switch (op) {
+      case UOp::Widen:
+        RAKE_USER_CHECK(args.size() == 1, "widen is unary");
+        RAKE_USER_CHECK(bits(params.out_elem) >= bits(result.elem),
+                        "widen must not narrow");
+        result = result.with_elem(params.out_elem);
+        break;
+      case UOp::Narrow:
+        RAKE_USER_CHECK(args.size() == 1, "narrow is unary");
+        RAKE_USER_CHECK(bits(params.out_elem) <= bits(result.elem),
+                        "narrow must not widen");
+        RAKE_USER_CHECK(params.shift >= 0 && params.shift < 64,
+                        "bad narrow shift " << params.shift);
+        result = result.with_elem(params.out_elem);
+        break;
+      case UOp::VsMpyAdd:
+        RAKE_USER_CHECK(params.kernel.size() == args.size(),
+                        "vs-mpy-add kernel size " << params.kernel.size()
+                                                  << " != argument count "
+                                                  << args.size());
+        result = result.with_elem(params.out_elem);
+        break;
+      case UOp::VvMpyAdd:
+        RAKE_USER_CHECK(args.size() % 2 == 0,
+                        "vv-mpy-add takes pairs of arguments");
+        result = result.with_elem(params.out_elem);
+        break;
+      case UOp::AbsDiff:
+      case UOp::Min:
+      case UOp::Max:
+      case UOp::Average:
+        RAKE_USER_CHECK(args.size() == 2, to_string(op) << " is binary");
+        RAKE_USER_CHECK(args[0]->type().elem == args[1]->type().elem,
+                        to_string(op) << " operand types differ");
+        break;
+      case UOp::ShiftLeft:
+      case UOp::ShiftRight:
+      case UOp::And:
+      case UOp::Or:
+      case UOp::Xor:
+        RAKE_USER_CHECK(args.size() == 2, to_string(op) << " is binary");
+        break;
+      case UOp::Not:
+        RAKE_USER_CHECK(args.size() == 1, "bw-not is unary");
+        break;
+      case UOp::Lt:
+      case UOp::Le:
+      case UOp::Eq:
+        RAKE_USER_CHECK(args.size() == 2, to_string(op) << " is binary");
+        RAKE_USER_CHECK(args[0]->type().elem == args[1]->type().elem,
+                        to_string(op) << " operand types differ");
+        result = result.with_elem(ScalarType::Int8);
+        break;
+      case UOp::Select:
+        RAKE_USER_CHECK(args.size() == 3, "if-then-else is ternary");
+        RAKE_USER_CHECK(args[1]->type() == args[2]->type(),
+                        "if-then-else branch types differ");
+        result = args[1]->type();
+        break;
+      case UOp::HirLeaf:
+        RAKE_UNREACHABLE("handled above");
+    }
+    return UExprPtr(new UExpr(op, result, std::move(args),
+                              std::move(params), nullptr));
+}
+
+int
+UExpr::instruction_count() const
+{
+    int n = op_ == UOp::HirLeaf ? 0 : 1;
+    for (const auto &a : args_)
+        n += a->instruction_count();
+    return n;
+}
+
+bool
+UExpr::equals(const UExpr &other) const
+{
+    if (this == &other)
+        return true;
+    if (op_ != other.op_ || !(type_ == other.type_) ||
+        !(params_ == other.params_) || args_.size() != other.args_.size())
+        return false;
+    if (op_ == UOp::HirLeaf)
+        return leaf_->equals(*other.leaf_);
+    for (size_t i = 0; i < args_.size(); ++i) {
+        if (!args_[i]->equals(*other.args_[i]))
+            return false;
+    }
+    return true;
+}
+
+bool
+equal(const UExprPtr &a, const UExprPtr &b)
+{
+    if (a == b)
+        return true;
+    if (!a || !b)
+        return false;
+    return a->equals(*b);
+}
+
+} // namespace rake::uir

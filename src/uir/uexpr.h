@@ -1,0 +1,129 @@
+/**
+ * @file
+ * UIR: the Uber-Instruction IR (paper §3).
+ *
+ * Each uber-instruction unifies a cluster of related HVX intrinsics by
+ * implementing the common higher-level compute pattern:
+ *
+ *  - VsMpyAdd unifies vadd / vmpy / vmpyi / vmpa / vtmpy / vdmpy /
+ *    vrmpy and their accumulating variants (vector-scalar
+ *    multiply-add over a weight kernel, paper Fig. 6).
+ *  - VvMpyAdd unifies the vector-vector multiplies (vmpye / vmpyie /
+ *    vmpyio / vmpyieo and element-wise vmpyi).
+ *  - Narrow unifies the down-casting family (vpack / vpacke /
+ *    vpackub / vsat / vasr-rnd-sat / vround / vshuffeb-as-truncate).
+ *  - Widen unifies vzxt / vsxt / vunpack.
+ *  - Average, AbsDiff, Min, Max, shifts, logical ops, comparisons and
+ *    select each unify their per-type intrinsic variants.
+ *
+ * Leaves wrap trivial HIR expressions (loads, constants, broadcasts),
+ * which Rake assumes are handled by LLVM directly (paper §7).
+ */
+#ifndef RAKE_UIR_UEXPR_H
+#define RAKE_UIR_UEXPR_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/type.h"
+#include "hir/expr.h"
+
+namespace rake::uir {
+
+/** Uber-instruction kinds. */
+enum class UOp : uint8_t {
+    HirLeaf,   ///< wraps an HIR Load / Const / Var / Broadcast
+    Widen,     ///< value-preserving extension to a wider element type
+    Narrow,    ///< optional rounding shift, then wrap- or sat-cast down
+    VsMpyAdd,  ///< sum_i widen(arg_i) * kernel_i, optional saturation
+    VvMpyAdd,  ///< sum_i widen(arg_{2i}) * widen(arg_{2i+1}), opt. sat
+    AbsDiff,
+    Min,
+    Max,
+    Average,   ///< (a + b [+1]) >> 1, computed widely (vavg / vavg:rnd)
+    ShiftLeft,
+    ShiftRight, ///< optional rounding (vasr:rnd)
+    And,
+    Or,
+    Xor,
+    Not,
+    Lt,
+    Le,
+    Eq,
+    Select,
+};
+
+std::string to_string(UOp op);
+
+/**
+ * Parameters attached to an uber-instruction. Which fields are
+ * meaningful depends on the op (see the interpreter).
+ */
+struct UParams {
+    ScalarType out_elem = ScalarType::Int32; ///< Widen/Narrow/MpyAdd out
+    std::vector<int64_t> kernel;             ///< VsMpyAdd weights
+    bool saturate = false;                   ///< Narrow / MpyAdd
+    bool round = false;                      ///< Narrow / Average / Shr
+    int shift = 0;                           ///< Narrow pre-shift amount
+
+    bool
+    operator==(const UParams &o) const
+    {
+        return out_elem == o.out_elem && kernel == o.kernel &&
+               saturate == o.saturate && round == o.round &&
+               shift == o.shift;
+    }
+};
+
+class UExpr;
+using UExprPtr = std::shared_ptr<const UExpr>;
+
+/** An immutable uber-instruction expression node. */
+class UExpr
+{
+  public:
+    /** Wrap a trivial HIR leaf (Load / Const / Var / Broadcast). */
+    static UExprPtr make_leaf(hir::ExprPtr leaf);
+
+    /** Generic constructor; type-checks per-op (throws UserError). */
+    static UExprPtr make(UOp op, std::vector<UExprPtr> args,
+                         UParams params = {});
+
+    UOp op() const { return op_; }
+    const VecType &type() const { return type_; }
+    const std::vector<UExprPtr> &args() const { return args_; }
+    const UExprPtr &arg(int i) const { return args_[i]; }
+    int num_args() const { return static_cast<int>(args_.size()); }
+    const UParams &params() const { return params_; }
+
+    /** HIR payload; valid only when op() == UOp::HirLeaf. */
+    const hir::ExprPtr &leaf() const { return leaf_; }
+
+    /** Count of non-leaf uber-instructions in this tree. */
+    int instruction_count() const;
+
+    /** Deep structural equality. */
+    bool equals(const UExpr &other) const;
+
+  private:
+    UExpr(UOp op, VecType type, std::vector<UExprPtr> args,
+          UParams params, hir::ExprPtr leaf)
+        : op_(op), type_(type), args_(std::move(args)),
+          params_(std::move(params)), leaf_(std::move(leaf))
+    {
+    }
+
+    UOp op_;
+    VecType type_;
+    std::vector<UExprPtr> args_;
+    UParams params_;
+    hir::ExprPtr leaf_;
+};
+
+/** Deep equality through pointers. */
+bool equal(const UExprPtr &a, const UExprPtr &b);
+
+} // namespace rake::uir
+
+#endif // RAKE_UIR_UEXPR_H

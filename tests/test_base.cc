@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit and property tests for the base layer: scalar/vector types,
+ * normalized fixed-point arithmetic, values, buffers, environments.
+ */
+#include <gtest/gtest.h>
+
+#include "base/arith.h"
+#include "base/type.h"
+#include "base/value.h"
+
+namespace rake {
+namespace {
+
+const ScalarType kAllTypes[] = {
+    ScalarType::Int8,  ScalarType::UInt8,  ScalarType::Int16,
+    ScalarType::UInt16, ScalarType::Int32, ScalarType::UInt32,
+    ScalarType::Int64, ScalarType::UInt64,
+};
+
+class ScalarTypeTest : public ::testing::TestWithParam<ScalarType>
+{
+};
+
+TEST_P(ScalarTypeTest, BitsAndBytesAgree)
+{
+    const ScalarType t = GetParam();
+    EXPECT_EQ(bits(t), bytes(t) * 8);
+    EXPECT_TRUE(bits(t) == 8 || bits(t) == 16 || bits(t) == 32 ||
+                bits(t) == 64);
+}
+
+TEST_P(ScalarTypeTest, SignednessConversionsRoundTrip)
+{
+    const ScalarType t = GetParam();
+    EXPECT_EQ(bits(to_signed(t)), bits(t));
+    EXPECT_EQ(bits(to_unsigned(t)), bits(t));
+    EXPECT_TRUE(is_signed(to_signed(t)));
+    EXPECT_FALSE(is_signed(to_unsigned(t)));
+    EXPECT_EQ(to_signed(to_unsigned(t)), to_signed(t));
+}
+
+TEST_P(ScalarTypeTest, WidenNarrowInverse)
+{
+    const ScalarType t = GetParam();
+    if (bits(t) < 64) {
+        EXPECT_EQ(bits(widen(t)), 2 * bits(t));
+        EXPECT_EQ(is_signed(widen(t)), is_signed(t));
+        EXPECT_EQ(narrow(widen(t)), t);
+    }
+    if (bits(t) > 8) {
+        EXPECT_EQ(bits(narrow(t)), bits(t) / 2);
+        EXPECT_EQ(widen(narrow(t)), t);
+    }
+}
+
+TEST_P(ScalarTypeTest, MinMaxValuesConsistent)
+{
+    const ScalarType t = GetParam();
+    EXPECT_LT(min_value(t), max_value(t));
+    if (is_signed(t))
+        EXPECT_EQ(min_value(t), -max_value(t) - 1);
+    else
+        EXPECT_EQ(min_value(t), 0);
+}
+
+TEST_P(ScalarTypeTest, MnemonicRoundTrips)
+{
+    const ScalarType t = GetParam();
+    EXPECT_EQ(scalar_type_from_string(to_string(t)), t);
+}
+
+TEST_P(ScalarTypeTest, WrapIsIdempotent)
+{
+    const ScalarType t = GetParam();
+    for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{255},
+                      int64_t{256}, int64_t{-129}, int64_t{65535},
+                      int64_t{1} << 40, min_value(t), max_value(t)}) {
+        const int64_t w = wrap(t, v);
+        EXPECT_EQ(wrap(t, w), w) << to_string(t) << " " << v;
+        // UInt64 values above INT64_MAX cannot be represented in the
+        // int64 carrier (documented in base/type.h); skip the range
+        // check for that one type.
+        if (bits(t) < 64) {
+            EXPECT_GE(w, min_value(t));
+            EXPECT_LE(w, max_value(t));
+        }
+    }
+}
+
+TEST_P(ScalarTypeTest, WrapAgreesWithSaturateInRange)
+{
+    const ScalarType t = GetParam();
+    for (int64_t v = -140; v <= 140; v += 7) {
+        if (fits_in(t, v)) {
+            EXPECT_EQ(wrap(t, v), v);
+            EXPECT_EQ(saturate(t, v), v);
+        }
+    }
+}
+
+TEST_P(ScalarTypeTest, SaturateClamps)
+{
+    const ScalarType t = GetParam();
+    if (bits(t) == 64)
+        return;
+    EXPECT_EQ(saturate(t, max_value(t) + 1), max_value(t));
+    EXPECT_EQ(saturate(t, min_value(t) - 1), min_value(t));
+    EXPECT_EQ(saturate(t, int64_t{1} << 40), max_value(t));
+    EXPECT_EQ(saturate(t, -(int64_t{1} << 40)), min_value(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScalarTypes, ScalarTypeTest,
+                         ::testing::ValuesIn(kAllTypes));
+
+TEST(Arith, WrapTwoComplementExamples)
+{
+    EXPECT_EQ(wrap(ScalarType::UInt8, 256), 0);
+    EXPECT_EQ(wrap(ScalarType::UInt8, -1), 255);
+    EXPECT_EQ(wrap(ScalarType::Int8, 128), -128);
+    EXPECT_EQ(wrap(ScalarType::Int16, 0x8000), -32768);
+    EXPECT_EQ(wrap(ScalarType::UInt16, 0x12345), 0x2345);
+}
+
+TEST(Arith, ShiftRightRounding)
+{
+    // (x + 8) >> 4, the HVX :rnd behaviour.
+    EXPECT_EQ(shift_right(0, 4, true), 0);
+    EXPECT_EQ(shift_right(7, 4, true), 0);
+    EXPECT_EQ(shift_right(8, 4, true), 1);
+    EXPECT_EQ(shift_right(24, 4, true), 2);
+    EXPECT_EQ(shift_right(-9, 4, true), -1);
+    EXPECT_EQ(shift_right(-8, 4, true), 0);
+    // Non-rounding is plain arithmetic shift.
+    EXPECT_EQ(shift_right(-1, 4, false), -1);
+    EXPECT_EQ(shift_right(31, 4, false), 1);
+}
+
+TEST(Arith, ShiftEdgeAmounts)
+{
+    EXPECT_EQ(shift_right(-5, 63), -1);
+    EXPECT_EQ(shift_right(5, 100), 0);
+    EXPECT_EQ(shift_left(ScalarType::UInt8, 1, 8), 0);
+    EXPECT_EQ(shift_left(ScalarType::UInt8, 3, 2), 12);
+    EXPECT_EQ(logical_shift_right(ScalarType::UInt8, 255, 4), 15);
+    // Logical shift masks to the type width first.
+    EXPECT_EQ(logical_shift_right(ScalarType::UInt16,
+                                  wrap(ScalarType::UInt16, 0xFFFF), 8),
+              0xFF);
+}
+
+TEST(Arith, AverageNeverOverflows)
+{
+    // (255 + 255 + 1) >> 1 fits in u8 via the wide intermediate.
+    EXPECT_EQ(average(ScalarType::UInt8, 255, 255, true), 255);
+    EXPECT_EQ(average(ScalarType::UInt8, 255, 254, false), 254);
+    EXPECT_EQ(average(ScalarType::Int8, -128, -128, false), -128);
+    EXPECT_EQ(average(ScalarType::UInt8, 0, 1, true), 1);
+    EXPECT_EQ(average(ScalarType::UInt8, 0, 1, false), 0);
+}
+
+TEST(Arith, NegAverage)
+{
+    EXPECT_EQ(neg_average(ScalarType::Int8, 10, 4, false), 3);
+    EXPECT_EQ(neg_average(ScalarType::Int8, 4, 10, false), -3);
+}
+
+TEST(Arith, AbsDiff)
+{
+    EXPECT_EQ(abs_diff(3, 10), 7);
+    EXPECT_EQ(abs_diff(10, 3), 7);
+    EXPECT_EQ(abs_diff(-5, 5), 10);
+    EXPECT_EQ(abs_diff(0, 0), 0);
+}
+
+TEST(Arith, SaturatingAddSub)
+{
+    EXPECT_EQ(add_sat(ScalarType::UInt8, 200, 100), 255);
+    EXPECT_EQ(add_sat(ScalarType::Int8, 100, 100), 127);
+    EXPECT_EQ(sub_sat(ScalarType::UInt8, 10, 20), 0);
+    EXPECT_EQ(sub_sat(ScalarType::Int16, -30000, 10000), -32768);
+}
+
+TEST(VecType, BasicProperties)
+{
+    VecType t(ScalarType::UInt16, 64);
+    EXPECT_EQ(t.total_bytes(), 128);
+    EXPECT_FALSE(t.is_scalar());
+    EXPECT_EQ(t.with_elem(ScalarType::UInt8).total_bytes(), 64);
+    EXPECT_EQ(t.with_lanes(1).lanes, 1);
+    EXPECT_TRUE(t.with_lanes(1).is_scalar());
+    EXPECT_EQ(to_string(t), "u16x64");
+    EXPECT_EQ(to_string(VecType(ScalarType::Int8, 1)), "i8");
+}
+
+TEST(Value, SplatAndScalar)
+{
+    Value v = Value::splat(ScalarType::UInt8, 4, 300);
+    EXPECT_EQ(v.type.lanes, 4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(v[i], 44); // 300 wraps to 44
+
+    Value s = Value::scalar(ScalarType::Int8, -1);
+    EXPECT_EQ(s.as_scalar(), -1);
+    EXPECT_THROW(v.as_scalar(), InternalError);
+}
+
+TEST(Value, EqualityIncludesType)
+{
+    Value a = Value::splat(ScalarType::UInt8, 4, 7);
+    Value b = Value::splat(ScalarType::UInt8, 4, 7);
+    Value c = Value::splat(ScalarType::Int8, 4, 7);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(Value, LaneCountMismatchThrows)
+{
+    EXPECT_THROW(Value(VecType(ScalarType::UInt8, 4), {1, 2, 3}),
+                 InternalError);
+}
+
+TEST(Buffer, EdgeClampAddressing)
+{
+    Buffer b(ScalarType::UInt8, 4, 2, -1, 0); // covers x in [-1, 2]
+    for (int i = 0; i < 8; ++i)
+        b.data[i] = i;
+    EXPECT_EQ(b.at(-1, 0), 0);
+    EXPECT_EQ(b.at(2, 0), 3);
+    EXPECT_EQ(b.at(2, 1), 7);
+    // Clamped reads.
+    EXPECT_EQ(b.at(-5, 0), 0);
+    EXPECT_EQ(b.at(10, 0), 3);
+    EXPECT_EQ(b.at(0, -3), 1);
+    EXPECT_EQ(b.at(0, 9), 5);
+    // Stores must be in range.
+    b.at_mut(0, 1) = 42;
+    EXPECT_EQ(b.at(0, 1), 42);
+    EXPECT_THROW(b.at_mut(10, 0), InternalError);
+}
+
+TEST(Env, MissingLookupsThrow)
+{
+    Env env;
+    EXPECT_THROW(env.buffer(0), InternalError);
+    EXPECT_THROW(env.scalar("x"), InternalError);
+    env.scalars["x"] = 5;
+    EXPECT_EQ(env.scalar("x"), 5);
+}
+
+} // namespace
+} // namespace rake

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the lifting stage (Algorithm 1): the update / replace /
+ * extend rules, the paper's Fig. 9 walkthrough, semantic-reasoning
+ * discoveries (saturation, rounding, averages), and end-to-end
+ * equivalence of the lifted form.
+ */
+#include <gtest/gtest.h>
+
+#include "hir/builder.h"
+#include "hir/interp.h"
+#include "hir/printer.h"
+#include "hir/simplify.h"
+#include "synth/lift.h"
+#include "synth/z3_verify.h"
+#include "test_util.h"
+#include "uir/interp.h"
+#include "uir/printer.h"
+
+namespace rake {
+namespace {
+
+using namespace rake::hir;
+using namespace rake::synth;
+using rake::uir::UExprPtr;
+using rake::uir::UOp;
+
+constexpr ScalarType u8 = ScalarType::UInt8;
+constexpr ScalarType i16 = ScalarType::Int16;
+constexpr ScalarType u16 = ScalarType::UInt16;
+constexpr ScalarType i32 = ScalarType::Int32;
+constexpr int L = 64;
+
+struct Lifted {
+    UExprPtr expr;
+    LiftStats stats;
+};
+
+Lifted
+lift(const HExpr &e)
+{
+    // Statics keep the spec/pool alive for the returned expression.
+    hir::ExprPtr norm = simplify(e.ptr());
+    Spec spec = Spec::from_expr(norm);
+    ExamplePool pool(spec, 5);
+    Verifier verifier(spec, pool);
+    LiftResult r = lift_to_uir(verifier);
+    EXPECT_NE(r.expr, nullptr);
+
+    // Every lifted expression must be equivalent to its source on a
+    // fresh batch of examples.
+    for (const Env &env : test::environments_for(norm, 8)) {
+        EXPECT_EQ(hir::evaluate(norm, env), uir::evaluate(r.expr, env))
+            << hir::to_string(norm) << "\n  lifted to "
+            << uir::to_string(r.expr);
+    }
+    return {r.expr, r.stats};
+}
+
+HExpr
+in(int dx, int dy = 0)
+{
+    return load(0, u8, L, dx, dy);
+}
+
+TEST(Lift, Fig9KernelGrowth)
+{
+    // The paper's Fig. 9: u16(a) + u16(b)*2 + u16(c) folds into one
+    // vs-mpy-add with kernel (2 1 1) (order follows fold sequence).
+    HExpr e = cast(u16, in(-1)) + cast(u16, in(0)) * 2 +
+              cast(u16, in(1));
+    Lifted l = lift(e);
+    ASSERT_EQ(l.expr->op(), UOp::VsMpyAdd);
+    EXPECT_EQ(l.expr->num_args(), 3);
+    int64_t kernel_sum = 0;
+    for (int64_t w : l.expr->params().kernel)
+        kernel_sum += w;
+    EXPECT_EQ(kernel_sum, 4);
+    EXPECT_EQ(l.expr->instruction_count(), 1);
+    // Update/replace did the folding; queries were issued.
+    EXPECT_GT(l.stats.update.queries + l.stats.replace.queries, 0);
+}
+
+TEST(Lift, SubtractionBecomesNegativeWeights)
+{
+    HExpr e = cast(i16, in(0)) * 3 - cast(i16, in(1)) * 2;
+    Lifted l = lift(e);
+    ASSERT_EQ(l.expr->op(), UOp::VsMpyAdd);
+    int64_t neg = 0;
+    for (int64_t w : l.expr->params().kernel)
+        neg += w < 0;
+    EXPECT_EQ(neg, 1);
+}
+
+TEST(Lift, ShiftLeftFoldsIntoWeights)
+{
+    // (i16(x) << 6) folds to a vs-mpy-add weight of 64.
+    HExpr e = cast(i16, in(0)) << 6;
+    Lifted l = lift(e);
+    ASSERT_EQ(l.expr->op(), UOp::VsMpyAdd);
+    EXPECT_EQ(l.expr->params().kernel, std::vector<int64_t>{64});
+}
+
+TEST(Lift, SaturationDiscoveredFromClamp)
+{
+    // cast<u8>(clamp(x, 0, 255)) of a u16 value lifts to a single
+    // saturating narrow — no explicit min/max instructions survive.
+    HExpr x = cast(u16, in(0)) * 5;
+    HExpr e = cast(u8, clamp(x, 0, 255));
+    Lifted l = lift(e);
+    ASSERT_EQ(l.expr->op(), UOp::Narrow);
+    EXPECT_TRUE(l.expr->params().saturate);
+    EXPECT_NE(l.expr->arg(0)->op(), UOp::Min);
+    EXPECT_NE(l.expr->arg(0)->op(), UOp::Max);
+}
+
+TEST(Lift, PartialClampKeepsTheBindingBound)
+{
+    // camera_pipe's curve: min(x, 127) binds below the u8 saturation
+    // bound and must survive, max(x, 0) must not.
+    HExpr e = cast(u8, max(min(load(3, i16, L), 127), 0));
+    Lifted l = lift(e);
+    ASSERT_EQ(l.expr->op(), UOp::Narrow);
+    EXPECT_TRUE(l.expr->params().saturate);
+    EXPECT_EQ(l.expr->arg(0)->op(), UOp::Min);
+}
+
+TEST(Lift, RoundingConstantAbsorbed)
+{
+    // u8((x + 8) >> 4) lifts to narrow(shift=4, round, ...) with the
+    // +8 folded into the round flag.
+    HExpr x = cast(u16, in(0)) * 15;
+    HExpr e = cast(u8, (x + 8) >> 4);
+    Lifted l = lift(e);
+    ASSERT_EQ(l.expr->op(), UOp::Narrow);
+    EXPECT_EQ(l.expr->params().shift, 4);
+    EXPECT_TRUE(l.expr->params().round);
+}
+
+TEST(Lift, AverageDiscovered)
+{
+    HExpr e = cast(u8, (cast(u16, in(0)) + cast(u16, in(1)) + 1) >> 1);
+    Lifted l = lift(e);
+    ASSERT_EQ(l.expr->op(), UOp::Average);
+    EXPECT_TRUE(l.expr->params().round);
+    // Non-rounding variant too.
+    HExpr e2 = cast(u8, (cast(u16, in(0)) + cast(u16, in(1))) >> 1);
+    Lifted l2 = lift(e2);
+    ASSERT_EQ(l2.expr->op(), UOp::Average);
+    EXPECT_FALSE(l2.expr->params().round);
+}
+
+TEST(Lift, VectorVectorMultiply)
+{
+    HExpr e = cast(u16, in(0)) * cast(u16, in(1));
+    Lifted l = lift(e);
+    EXPECT_EQ(l.expr->op(), UOp::VvMpyAdd);
+}
+
+TEST(Lift, MinMaxAbsdExtendDirectly)
+{
+    Lifted l1 = lift(min(in(0), in(1)));
+    EXPECT_EQ(l1.expr->op(), UOp::Min);
+    Lifted l2 = lift(max(in(0), in(1)));
+    EXPECT_EQ(l2.expr->op(), UOp::Max);
+    Lifted l3 = lift(absd(in(0), in(1)));
+    EXPECT_EQ(l3.expr->op(), UOp::AbsDiff);
+    Lifted l4 = lift(select(lt(in(0), in(1)), in(0), in(1)));
+    EXPECT_EQ(l4.expr->op(), UOp::Select);
+}
+
+TEST(Lift, LeavesStayLeaves)
+{
+    Lifted l = lift(in(0));
+    EXPECT_EQ(l.expr->op(), UOp::HirLeaf);
+    EXPECT_EQ(l.expr->instruction_count(), 0);
+    EXPECT_EQ(l.stats.update.queries + l.stats.replace.queries +
+                  l.stats.extend.queries,
+              0);
+}
+
+TEST(Lift, GreedyFoldKeepsInstructionCountLow)
+{
+    // A 9-tap weighted sum lifts to a single uber-instruction even
+    // though the HIR tree has ~35 nodes.
+    HExpr sum;
+    for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+            HExpr t = cast(u16, in(dx, dy)) * ((dx + 2) * (dy + 2));
+            sum = sum.defined() ? sum + t : t;
+        }
+    }
+    Lifted l = lift(sum);
+    EXPECT_EQ(l.expr->op(), UOp::VsMpyAdd);
+    EXPECT_EQ(l.expr->instruction_count(), 1);
+    EXPECT_EQ(l.expr->num_args(), 9);
+}
+
+TEST(Lift, LiftedFormProvedByZ3)
+{
+    HExpr e = cast(u16, in(-1)) + cast(u16, in(0)) * 2 +
+              cast(u16, in(1));
+    hir::ExprPtr norm = simplify(e.ptr());
+    Spec spec = Spec::from_expr(norm);
+    ExamplePool pool(spec, 5);
+    Verifier verifier(spec, pool);
+    LiftResult r = lift_to_uir(verifier);
+    ASSERT_NE(r.expr, nullptr);
+    EXPECT_EQ(z3_check(norm, r.expr, spec).result,
+              ProofResult::Proved);
+}
+
+class LiftDifferential : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LiftDifferential, RandomExpressionsLiftEquivalently)
+{
+    test::ExprGen gen(GetParam() * 7919 + 3, /*lanes=*/16);
+    for (int i = 0; i < 3; ++i) {
+        hir::ExprPtr e = simplify(gen.gen(3));
+        Spec spec = Spec::from_expr(e);
+        ExamplePool pool(spec, 11);
+        Verifier verifier(spec, pool);
+        LiftResult r = lift_to_uir(verifier);
+        ASSERT_NE(r.expr, nullptr) << hir::to_string(e);
+        for (const Env &env : test::environments_for(e, 6, 99)) {
+            EXPECT_EQ(hir::evaluate(e, env), uir::evaluate(r.expr, env))
+                << hir::to_string(e);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LiftDifferential,
+                         ::testing::Range(0, 6));
+
+} // namespace
+} // namespace rake

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Tests for the lowering stage (Algorithm 2): the specialized
+ * lowering grammars per uber-instruction, layout parameterization,
+ * backtracking, and end-to-end HIR -> HVX equivalence through
+ * synth::select_instructions.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hir/builder.h"
+#include "hir/interp.h"
+#include "hir/printer.h"
+#include "hvx/interp.h"
+#include "hvx/printer.h"
+#include "synth/rake.h"
+#include "test_util.h"
+
+namespace rake {
+namespace {
+
+using namespace rake::hir;
+using namespace rake::synth;
+using rake::hvx::Opcode;
+
+constexpr ScalarType u8 = ScalarType::UInt8;
+constexpr ScalarType i16 = ScalarType::Int16;
+constexpr ScalarType u16 = ScalarType::UInt16;
+constexpr ScalarType i32 = ScalarType::Int32;
+constexpr int L = 128;
+
+int
+count_op(const hvx::InstrPtr &n, Opcode op,
+         std::set<const hvx::Instr *> &seen)
+{
+    if (!seen.insert(n.get()).second)
+        return 0;
+    int c = n->op() == op ? 1 : 0;
+    for (const auto &a : n->args())
+        c += count_op(a, op, seen);
+    return c;
+}
+
+int
+count_op(const hvx::InstrPtr &n, Opcode op)
+{
+    std::set<const hvx::Instr *> seen;
+    return count_op(n, op, seen);
+}
+
+/** Run full Rake selection and functionally validate the result. */
+hvx::InstrPtr
+select_checked(const HExpr &e,
+               const RakeOptions &opts = RakeOptions())
+{
+    auto r = select_instructions(e.ptr(), opts);
+    EXPECT_TRUE(r.has_value()) << hir::to_string(e.ptr());
+    if (!r)
+        return nullptr;
+    for (const Env &env : test::environments_for(e.ptr(), 8, 123)) {
+        EXPECT_EQ(hir::evaluate(e.ptr(), env),
+                  hvx::evaluate(r->instr, env))
+            << hir::to_string(e.ptr()) << "\n"
+            << hvx::to_listing(r->instr);
+    }
+    return r->instr;
+}
+
+HExpr
+in(int dx, int dy = 0)
+{
+    return load(0, u8, L, dx, dy);
+}
+
+TEST(Lower, SlidingWindowBecomesVtmpy)
+{
+    HExpr e = cast(u16, in(-1)) + cast(u16, in(0)) * 2 +
+              cast(u16, in(1));
+    hvx::InstrPtr code = select_checked(e);
+    ASSERT_NE(code, nullptr);
+    EXPECT_EQ(count_op(code, Opcode::VTmpy), 1);
+    EXPECT_EQ(count_op(code, Opcode::VMpa), 0);
+}
+
+TEST(Lower, TwoTapWindowBecomesVdmpy)
+{
+    HExpr e = cast(u16, in(0)) * 3 + cast(u16, in(1)) * 5;
+    hvx::InstrPtr code = select_checked(e);
+    ASSERT_NE(code, nullptr);
+    EXPECT_EQ(count_op(code, Opcode::VDmpy), 1);
+}
+
+TEST(Lower, ColumnConvUsesVmpaAcc)
+{
+    // Taps on different rows: no sliding window, so the widen-first
+    // accumulator chain (vzxt + vmpa.acc) wins (paper Fig. 4(b)).
+    HExpr e = cast(u16, in(-1, -1)) + cast(u16, in(-1, 0)) * 2 +
+              cast(u16, in(-1, 1));
+    hvx::InstrPtr code = select_checked(e);
+    ASSERT_NE(code, nullptr);
+    EXPECT_EQ(count_op(code, Opcode::VMpaAcc), 1);
+    EXPECT_EQ(count_op(code, Opcode::VTmpy), 0);
+    EXPECT_EQ(count_op(code, Opcode::VAdd), 0);
+}
+
+TEST(Lower, MixedWidthAddBecomesWideningMpyAcc)
+{
+    // Fig. 12 average_pool.
+    HExpr e = load(1, u16, L) + cast(u16, in(0));
+    hvx::InstrPtr code = select_checked(e);
+    ASSERT_NE(code, nullptr);
+    EXPECT_EQ(count_op(code, Opcode::VMpyAcc), 1);
+    EXPECT_EQ(count_op(code, Opcode::VZxt), 0);
+}
+
+TEST(Lower, SaturatingNarrowBecomesVsat)
+{
+    HExpr x = cast(u16, in(0)) * 9;
+    HExpr e = cast(u8, clamp(x, 0, 255));
+    hvx::InstrPtr code = select_checked(e);
+    ASSERT_NE(code, nullptr);
+    EXPECT_EQ(count_op(code, Opcode::VSat) +
+                  count_op(code, Opcode::VPackSat),
+              1);
+    EXPECT_EQ(count_op(code, Opcode::VMin), 0);
+    EXPECT_EQ(count_op(code, Opcode::VMax), 0);
+}
+
+TEST(Lower, FusedRoundingSaturatingNarrow)
+{
+    HExpr x = cast(i16, in(0)) * 15;
+    HExpr e = cast(u8, (x + 8) >> 4);
+    hvx::InstrPtr code = select_checked(e);
+    ASSERT_NE(code, nullptr);
+    EXPECT_EQ(count_op(code, Opcode::VAsrNarrowRndSat), 1);
+}
+
+TEST(Lower, AverageBecomesVavg)
+{
+    HExpr e = cast(u8, (cast(u16, in(0)) + cast(u16, in(1)) + 1) >> 1);
+    hvx::InstrPtr code = select_checked(e);
+    ASSERT_NE(code, nullptr);
+    EXPECT_EQ(count_op(code, Opcode::VAvgRnd), 1);
+    EXPECT_EQ(count_op(code, Opcode::VZxt), 0);
+}
+
+TEST(Lower, WordByHalfwordUsesVmpyie)
+{
+    HExpr y = cast(i16, load(0, u8, 64)) * 16; // provably non-negative
+    HExpr e = broadcast(var("w", i32), 64) * cast(i32, y);
+    hvx::InstrPtr code = select_checked(e);
+    ASSERT_NE(code, nullptr);
+    EXPECT_EQ(count_op(code, Opcode::VMpyIE), 1);
+    EXPECT_EQ(count_op(code, Opcode::VMpyIO), 1);
+}
+
+TEST(Lower, SignedHalfwordsFallBackToVmpyioPair)
+{
+    // A genuinely signed i16 operand kills the vmpyie candidate; the
+    // safe vaslw route must be selected instead.
+    HExpr y = load(1, i16, 64);
+    HExpr e = broadcast(var("w", i32), 64) * cast(i32, y);
+    hvx::InstrPtr code = select_checked(e);
+    ASSERT_NE(code, nullptr);
+    EXPECT_EQ(count_op(code, Opcode::VMpyIE), 0);
+    EXPECT_EQ(count_op(code, Opcode::VMpyIO), 2);
+}
+
+TEST(Lower, LaneWiseOpsAndSelect)
+{
+    hvx::InstrPtr c1 = select_checked(min(in(0), in(1)));
+    EXPECT_EQ(count_op(c1, Opcode::VMin), 1);
+    hvx::InstrPtr c2 = select_checked(absd(in(0), in(2)));
+    EXPECT_EQ(count_op(c2, Opcode::VAbsDiff), 1);
+    hvx::InstrPtr c3 =
+        select_checked(select(lt(in(0), in(1)), in(0), in(1)));
+    EXPECT_EQ(count_op(c3, Opcode::VMux), 1);
+    EXPECT_EQ(count_op(c3, Opcode::VCmpGt), 1);
+}
+
+TEST(Lower, WideAccumulators)
+{
+    // 32-bit accumulation from u8 data: two widening hops.
+    HExpr e = cast(i32, cast(i16, in(0))) * 300 +
+              cast(i32, cast(i16, in(1))) * -200;
+    hvx::InstrPtr code = select_checked(e);
+    ASSERT_NE(code, nullptr);
+}
+
+TEST(Lower, TwoHopNarrow)
+{
+    // i32 -> u8 with shift, rounding, saturation.
+    HExpr acc = cast(i32, cast(i16, in(0))) * 1000;
+    HExpr e = cast(u8, clamp((acc + 512) >> 10, 0, 255));
+    hvx::InstrPtr code = select_checked(e);
+    ASSERT_NE(code, nullptr);
+}
+
+TEST(Lower, NoLayoutsAblationAddsShuffles)
+{
+    HExpr e = cast(u16, in(-1)) + cast(u16, in(0)) * 2 +
+              cast(u16, in(1));
+    RakeOptions full;
+    RakeOptions nolay;
+    nolay.lower.layouts = false;
+    hvx::InstrPtr a = select_checked(e, full);
+    hvx::InstrPtr b = select_checked(e, nolay);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    hvx::Target t;
+    EXPECT_LE(hvx::cost_of(a, t).total_instructions,
+              hvx::cost_of(b, t).total_instructions);
+}
+
+TEST(Lower, NoBacktrackingNeverBeatsFull)
+{
+    HExpr e = cast(u16, in(-1)) * 3 + cast(u16, in(0)) * 5 +
+              cast(u16, in(1)) * 7 + cast(u16, in(2));
+    RakeOptions full;
+    RakeOptions nobt;
+    nobt.lower.backtracking = false;
+    hvx::InstrPtr a = select_checked(e, full);
+    hvx::InstrPtr b = select_checked(e, nobt);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    hvx::Target t;
+    EXPECT_FALSE(
+        hvx::cost_of(b, t).better_than(hvx::cost_of(a, t)));
+}
+
+TEST(Lower, Z3ProofGateAccepts)
+{
+    RakeOptions opts;
+    opts.z3_prove = true;
+    HExpr e = cast(u16, in(0)) + cast(u16, in(1));
+    auto r = select_instructions(e.ptr(), opts);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->proof, ProofResult::Proved);
+}
+
+TEST(Lower, StatsArePopulated)
+{
+    HExpr e = cast(u16, in(-1)) + cast(u16, in(0)) * 2 +
+              cast(u16, in(1));
+    auto r = select_instructions(e.ptr());
+    ASSERT_TRUE(r.has_value());
+    EXPECT_GT(r->lift.total_queries(), 0);
+    EXPECT_GT(r->lower.sketch.queries, 0);
+    EXPECT_GT(r->lower.swizzle.queries, 0);
+    EXPECT_NE(r->lifted, nullptr);
+}
+
+class LowerDifferential : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LowerDifferential, RandomExpressionsSelectCorrectly)
+{
+    test::ExprGen gen(GetParam() * 524287 + 1, /*lanes=*/16);
+    for (int i = 0; i < 2; ++i) {
+        hir::ExprPtr e = gen.gen(3);
+        auto r = select_instructions(e);
+        if (!r)
+            continue; // falling back to the baseline is permitted
+        for (const Env &env : test::environments_for(e, 6, 321)) {
+            EXPECT_EQ(hir::evaluate(e, env),
+                      hvx::evaluate(r->instr, env))
+                << hir::to_string(e);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowerDifferential,
+                         ::testing::Range(0, 6));
+
+} // namespace
+} // namespace rake

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the end-to-end pipeline: the 21-benchmark suite
+ * definitions, per-benchmark compile + validate + simulate for a
+ * representative subset, cross-validation of both selectors, and the
+ * reporting helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "hir/analysis.h"
+#include "hir/builder.h"
+#include "pipeline/benchmarks.h"
+#include "pipeline/report.h"
+
+namespace rake {
+namespace {
+
+using namespace rake::pipeline;
+
+TEST(Benchmarks, SuiteHasThePapersTwentyOne)
+{
+    const auto &suite = benchmark_suite();
+    EXPECT_EQ(suite.size(), 21u);
+    const char *expected[] = {
+        "sobel",        "dilate",      "box_blur",
+        "median",       "gaussian3x3", "gaussian5x5",
+        "gaussian7x7",  "conv3x3a16",  "conv3x3a32",
+        "camera_pipe",  "matmul",      "add",
+        "mul",          "mean",        "l2norm",
+        "softmax",      "average_pool", "max_pool",
+        "fully_connected", "conv_nn",  "depthwise_conv",
+    };
+    for (const char *name : expected)
+        EXPECT_NO_THROW(benchmark(name)) << name;
+    EXPECT_THROW(benchmark("nope"), UserError);
+}
+
+TEST(Benchmarks, EveryExpressionIsWellFormed)
+{
+    for (const Benchmark &b : benchmark_suite()) {
+        EXPECT_FALSE(b.exprs.empty()) << b.name;
+        for (const KernelExpr &k : b.exprs) {
+            ASSERT_NE(k.expr, nullptr) << b.name;
+            EXPECT_GT(k.iterations, 0) << b.name;
+            EXPECT_FALSE(hir::collect_loads(k.expr).empty())
+                << b.name << "/" << k.name;
+            // Vectorized at >= 64 lanes like the paper's tiles.
+            EXPECT_GE(k.expr->type().lanes, 64) << b.name;
+        }
+    }
+}
+
+TEST(Benchmarks, SobelMatchesFig3Shape)
+{
+    hir::ExprPtr sobel = sobel_expr();
+    auto loads = hir::collect_loads(sobel);
+    // The Fig. 3 expression touches 8 of the 9 3x3 neighbours (the
+    // center tap cancels out of both gradients).
+    EXPECT_EQ(loads.size(), 8u);
+    auto hist = hir::op_histogram(sobel);
+    EXPECT_EQ(hist[hir::Op::AbsDiff], 2);
+    EXPECT_GE(hist[hir::Op::Mul], 4);
+    EXPECT_EQ(sobel->type().elem, ScalarType::UInt8);
+}
+
+class BenchmarkCompiles : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BenchmarkCompiles, ValidatesAndWinsOrTies)
+{
+    CompileOptions opts;
+    BenchmarkResult r = compile_benchmark(benchmark(GetParam()), opts);
+    EXPECT_GT(r.baseline_cycles, 0);
+    EXPECT_GT(r.rake_cycles, 0);
+    // Rake must compile every expression of these benchmarks (no
+    // fallback) ...
+    for (const ExprCompilation &ec : r.exprs) {
+        EXPECT_NE(ec.baseline, nullptr);
+        EXPECT_NE(ec.rake, nullptr) << GetParam();
+    }
+    // ... and never lose (these have no cross-expression penalty).
+    EXPECT_GE(r.speedup, 0.99) << GetParam();
+    EXPECT_GT(r.lifting_queries, 0);
+    EXPECT_GT(r.swizzle_queries, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Subset, BenchmarkCompiles,
+                         ::testing::Values("box_blur", "mean", "l2norm",
+                                           "mul", "average_pool",
+                                           "max_pool"));
+
+TEST(Pipeline, DepthwiseConvReproducesTheRegression)
+{
+    CompileOptions opts;
+    BenchmarkResult r =
+        compile_benchmark(benchmark("depthwise_conv"), opts);
+    // The paper's only regression: 0.93x (ours lands close).
+    EXPECT_LT(r.speedup, 1.0);
+    EXPECT_GT(r.speedup, 0.80);
+}
+
+TEST(Pipeline, GaussianBeatsSobelBeatsTies)
+{
+    CompileOptions opts;
+    BenchmarkResult g =
+        compile_benchmark(benchmark("gaussian3x3"), opts);
+    BenchmarkResult d = compile_benchmark(benchmark("dilate"), opts);
+    EXPECT_GT(g.speedup, 1.5); // the paper's headline 2.1x kernel
+    EXPECT_NEAR(d.speedup, 1.0, 0.01); // min/max networks tie
+}
+
+TEST(Pipeline, ValidationCatchesWrongCode)
+{
+    // validate_against_reference must reject an implementation of the
+    // wrong expression.
+    using namespace rake::hir;
+    HExpr a = load(0, ScalarType::UInt8, 16);
+    HExpr b = load(0, ScalarType::UInt8, 16, 1);
+    hvx::Target target;
+    hvx::InstrPtr wrong =
+        baseline::select_instructions(b.ptr(), target);
+    EXPECT_THROW(validate_against_reference(a.ptr(), wrong, 4, 9),
+                 InternalError);
+    hvx::InstrPtr right =
+        baseline::select_instructions(a.ptr(), target);
+    EXPECT_NO_THROW(validate_against_reference(a.ptr(), right, 4, 9));
+}
+
+TEST(Report, TableFormatsAligned)
+{
+    Table t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22222"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_THROW(t.add_row({"too", "many", "cells"}), InternalError);
+}
+
+TEST(Report, GeomeanAndFormatting)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_EQ(geomean({}), 0.0);
+    EXPECT_EQ(fmt(1.234567), "1.23");
+    EXPECT_EQ(fmt(1.5, 0), "2");
+}
+
+} // namespace
+} // namespace rake

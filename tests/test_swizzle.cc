@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the swizzle synthesizer (§5): goal-directed search over
+ * the data-movement grammar, budget behaviour, memoization across
+ * holes with different sources, and query accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "hir/builder.h"
+#include "hvx/interp.h"
+#include "synth/swizzle.h"
+
+namespace rake {
+namespace {
+
+using namespace rake::synth;
+constexpr ScalarType u8 = ScalarType::UInt8;
+
+Env
+ramp_env()
+{
+    Env env;
+    Buffer b(u8, 64, 3, -16, -1);
+    for (size_t i = 0; i < b.data.size(); ++i)
+        b.data[i] = static_cast<int64_t>(i % 251);
+    env.buffers.emplace(0, std::move(b));
+    return env;
+}
+
+/** Solve and functionally check the solution against the oracle. */
+hvx::InstrPtr
+solve_checked(const Hole &hole, int budget, SwizzleStats &stats)
+{
+    hvx::Target target;
+    SwizzleSolver solver(target, stats);
+    hvx::InstrPtr sol = solver.solve(hole, budget);
+    if (sol) {
+        Env env = ramp_env();
+        EXPECT_EQ(hvx::evaluate(sol, env), arrangement_value(hole, env));
+    }
+    return sol;
+}
+
+TEST(Swizzle, WindowIsOneRead)
+{
+    SwizzleStats stats;
+    Hole h{VecType(u8, 8), window_cells(0, 0, -2, 8), {}};
+    hvx::InstrPtr sol = solve_checked(h, 4, stats);
+    ASSERT_NE(sol, nullptr);
+    EXPECT_EQ(sol->op(), hvx::Opcode::VRead);
+    EXPECT_EQ(sol->load_ref().dx, -2);
+    EXPECT_EQ(stats.solved, 1);
+}
+
+TEST(Swizzle, DeinterleavedWindowNeedsDeal)
+{
+    SwizzleStats stats;
+    Hole h{VecType(u8, 8), deinterleave(window_cells(0, 0, 0, 8)), {}};
+    hvx::InstrPtr sol = solve_checked(h, 4, stats);
+    ASSERT_NE(sol, nullptr);
+    EXPECT_EQ(sol->op(), hvx::Opcode::VDealVdd);
+    EXPECT_EQ(sol->arg(0)->op(), hvx::Opcode::VRead);
+}
+
+TEST(Swizzle, InterleaveGoalUsesShuff)
+{
+    // Goal: interleave of a window — the inverse direction.
+    SwizzleStats stats;
+    Hole h{VecType(u8, 8), interleave(window_cells(0, 0, 0, 8)), {}};
+    hvx::InstrPtr sol = solve_checked(h, 4, stats);
+    ASSERT_NE(sol, nullptr);
+    EXPECT_EQ(sol->op(), hvx::Opcode::VShuffVdd);
+}
+
+TEST(Swizzle, TwoRowsCombine)
+{
+    SwizzleStats stats;
+    Arrangement a = concat(window_cells(0, -1, 0, 4),
+                           window_cells(0, 1, 0, 4));
+    Hole h{VecType(u8, 8), a, {}};
+    hvx::InstrPtr sol = solve_checked(h, 4, stats);
+    ASSERT_NE(sol, nullptr);
+    EXPECT_EQ(sol->op(), hvx::Opcode::VCombine);
+}
+
+TEST(Swizzle, RotatedWindowUsesRor)
+{
+    SwizzleStats stats;
+    Hole h{VecType(u8, 8), rotate(window_cells(0, 0, 0, 8), 3), {}};
+    hvx::InstrPtr sol = solve_checked(h, 4, stats);
+    ASSERT_NE(sol, nullptr);
+    EXPECT_EQ(sol->op(), hvx::Opcode::VRor);
+    EXPECT_EQ(sol->imm(0), 3);
+}
+
+TEST(Swizzle, SourcePassThroughIsFree)
+{
+    SwizzleStats stats;
+    hvx::InstrPtr src = hvx::Instr::make_read(hir::LoadRef{0, 0, 0},
+                                              VecType(u8, 8));
+    Hole h{VecType(u8, 8), source_cells(0, 8), {src}};
+    hvx::InstrPtr sol = solve_checked(h, 4, stats);
+    EXPECT_EQ(sol, src);
+}
+
+TEST(Swizzle, SourceHalvesAreFreeRenames)
+{
+    SwizzleStats stats;
+    hvx::InstrPtr src = hvx::Instr::make_read(hir::LoadRef{0, 0, 0},
+                                              VecType(u8, 16));
+    Arrangement hi;
+    for (int i = 8; i < 16; ++i)
+        hi.push_back(Cell::src(0, i));
+    Hole h{VecType(u8, 8), hi, {src}};
+    hvx::InstrPtr sol = solve_checked(h, 4, stats);
+    ASSERT_NE(sol, nullptr);
+    EXPECT_EQ(sol->op(), hvx::Opcode::VHi);
+}
+
+TEST(Swizzle, ZeroFillIsASplat)
+{
+    SwizzleStats stats;
+    Hole h{VecType(u8, 8), Arrangement(8, Cell::zero()), {}};
+    hvx::InstrPtr sol = solve_checked(h, 4, stats);
+    ASSERT_NE(sol, nullptr);
+    EXPECT_EQ(sol->op(), hvx::Opcode::VSplat);
+}
+
+TEST(Swizzle, BudgetZeroRejectsNonFreeGoals)
+{
+    SwizzleStats stats;
+    Hole h{VecType(u8, 8), deinterleave(window_cells(0, 0, 0, 8)), {}};
+    hvx::Target target;
+    SwizzleSolver solver(target, stats);
+    EXPECT_EQ(solver.solve(h, 0), nullptr);
+    EXPECT_EQ(stats.unsat, 1);
+    // And succeeds once the budget allows the read + deal.
+    EXPECT_NE(solver.solve(h, 3), nullptr);
+}
+
+TEST(Swizzle, UnsatisfiableArrangementWithinBudget)
+{
+    // A pseudo-random permutation of a window is not expressible in
+    // a couple of structured moves.
+    SwizzleStats stats;
+    Arrangement a = window_cells(0, 0, 0, 8);
+    std::swap(a[0], a[5]);
+    std::swap(a[2], a[7]);
+    std::swap(a[1], a[6]);
+    Hole h{VecType(u8, 8), a, {}};
+    hvx::Target target;
+    SwizzleSolver solver(target, stats);
+    EXPECT_EQ(solver.solve(h, 3), nullptr);
+    EXPECT_GT(stats.queries, 0);
+}
+
+TEST(Swizzle, MemoKeysIncludeSources)
+{
+    // The same arrangement over two different sources must not share
+    // solutions (regression test for the cross-hole memo bug).
+    SwizzleStats stats;
+    hvx::Target target;
+    SwizzleSolver solver(target, stats);
+    hvx::InstrPtr s1 = hvx::Instr::make_read(hir::LoadRef{0, 0, 0},
+                                             VecType(u8, 8));
+    hvx::InstrPtr s2 = hvx::Instr::make_read(hir::LoadRef{0, 0, 1},
+                                             VecType(u8, 8));
+    Hole h1{VecType(u8, 8), source_cells(0, 8), {s1}};
+    Hole h2{VecType(u8, 8), source_cells(0, 8), {s2}};
+    EXPECT_EQ(solver.solve(h1, 2), s1);
+    EXPECT_EQ(solver.solve(h2, 2), s2);
+}
+
+TEST(Swizzle, QueriesAreCounted)
+{
+    SwizzleStats stats;
+    Hole h{VecType(u8, 8),
+           interleave(concat(window_cells(0, -1, 0, 4),
+                             window_cells(0, 1, 0, 4))),
+           {}};
+    solve_checked(h, 5, stats);
+    EXPECT_GT(stats.queries, 3);
+    EXPECT_GT(stats.seconds, 0.0);
+}
+
+} // namespace
+} // namespace rake

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the Uber-Instruction IR: constructors and type rules,
+ * executable semantics of every uber-instruction (the Fig. 6
+ * definitions), and the paper-style printer.
+ */
+#include <gtest/gtest.h>
+
+#include "hir/builder.h"
+#include "uir/interp.h"
+#include "uir/printer.h"
+#include "uir/uexpr.h"
+
+namespace rake {
+namespace {
+
+using namespace rake::uir;
+constexpr ScalarType u8 = ScalarType::UInt8;
+constexpr ScalarType i16 = ScalarType::Int16;
+constexpr ScalarType u16 = ScalarType::UInt16;
+constexpr ScalarType i32 = ScalarType::Int32;
+
+UExprPtr
+load_leaf(int dx = 0, int dy = 0, int lanes = 8)
+{
+    return UExpr::make_leaf(hir::Expr::make_load(
+        hir::LoadRef{0, dx, dy}, VecType(u8, lanes)));
+}
+
+UExprPtr
+const_leaf(int64_t v, ScalarType t = u8, int lanes = 8)
+{
+    return UExpr::make_leaf(hir::Expr::make_const(v, VecType(t, lanes)));
+}
+
+Env
+env_with_ramp(int width = 32)
+{
+    Env env;
+    Buffer b(u8, width, 3, -8, -1);
+    for (size_t i = 0; i < b.data.size(); ++i)
+        b.data[i] = static_cast<int64_t>((i * 11 + 3) % 256);
+    env.buffers.emplace(0, std::move(b));
+    return env;
+}
+
+TEST(UExpr, LeafRules)
+{
+    EXPECT_NO_THROW(load_leaf());
+    EXPECT_NO_THROW(const_leaf(3));
+    EXPECT_NO_THROW(UExpr::make_leaf(hir::Expr::make_broadcast(
+        hir::Expr::make_var("w", VecType(i16, 1)), 8)));
+    // Non-trivial HIR is rejected as a leaf.
+    hir::HExpr sum = hir::load(0, u8, 8) + hir::load(0, u8, 8, 1);
+    EXPECT_THROW(UExpr::make_leaf(sum.ptr()), UserError);
+}
+
+TEST(UExpr, TypeRules)
+{
+    UExprPtr x = load_leaf();
+    UParams widen_p;
+    widen_p.out_elem = u16;
+    UExprPtr w = UExpr::make(UOp::Widen, {x}, widen_p);
+    EXPECT_EQ(w->type(), VecType(u16, 8));
+
+    // Widen must not narrow; narrow must not widen.
+    UParams bad;
+    bad.out_elem = u8;
+    EXPECT_NO_THROW(UExpr::make(UOp::Narrow, {w}, bad));
+    bad.out_elem = i32;
+    EXPECT_THROW(UExpr::make(UOp::Narrow, {w}, bad), UserError);
+    UParams bad2;
+    bad2.out_elem = u8;
+    EXPECT_THROW(UExpr::make(UOp::Widen, {w}, bad2), UserError);
+
+    // vs-mpy-add kernel size must match arity.
+    UParams k;
+    k.out_elem = u16;
+    k.kernel = {1, 2};
+    EXPECT_THROW(UExpr::make(UOp::VsMpyAdd, {x}, k), UserError);
+    k.kernel = {1};
+    EXPECT_NO_THROW(UExpr::make(UOp::VsMpyAdd, {x}, k));
+
+    // vv-mpy-add takes pairs.
+    UParams vv;
+    vv.out_elem = u16;
+    EXPECT_THROW(UExpr::make(UOp::VvMpyAdd, {x}, vv), UserError);
+
+    // instruction_count skips leaves.
+    EXPECT_EQ(x->instruction_count(), 0);
+    EXPECT_EQ(w->instruction_count(), 1);
+}
+
+TEST(UirInterp, VsMpyAddMatchesConvolution)
+{
+    Env env = env_with_ramp();
+    UParams p;
+    p.out_elem = u16;
+    p.kernel = {1, 2, 1};
+    UExprPtr e = UExpr::make(
+        UOp::VsMpyAdd, {load_leaf(-1), load_leaf(0), load_leaf(1)}, p);
+    Value v = evaluate(e, env);
+    const Buffer &b = env.buffer(0);
+    for (int i = 0; i < 8; ++i) {
+        const int64_t expect =
+            b.at(i - 1, 0) + 2 * b.at(i, 0) + b.at(i + 1, 0);
+        EXPECT_EQ(v[i], wrap(u16, expect));
+    }
+}
+
+TEST(UirInterp, VsMpyAddSaturates)
+{
+    Env env = env_with_ramp();
+    UParams p;
+    p.out_elem = u8;
+    p.kernel = {200, 200};
+    p.saturate = true;
+    UExprPtr e =
+        UExpr::make(UOp::VsMpyAdd, {load_leaf(0), load_leaf(1)}, p);
+    Value v = evaluate(e, env);
+    const Buffer &b = env.buffer(0);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(v[i],
+                  saturate(u8, 200 * b.at(i, 0) + 200 * b.at(i + 1, 0)));
+    }
+}
+
+TEST(UirInterp, NarrowShiftRoundSaturate)
+{
+    Env env = env_with_ramp();
+    UParams wp;
+    wp.out_elem = u16;
+    UExprPtr wide = UExpr::make(UOp::Widen, {load_leaf()}, wp);
+    UParams p;
+    p.out_elem = u8;
+    p.shift = 2;
+    p.round = true;
+    p.saturate = true;
+    Value v = evaluate(UExpr::make(UOp::Narrow, {wide}, p), env);
+    const Buffer &b = env.buffer(0);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(v[i], saturate(u8, (b.at(i, 0) + 2) >> 2));
+}
+
+TEST(UirInterp, VvMpyAddPairs)
+{
+    Env env = env_with_ramp();
+    UParams p;
+    p.out_elem = u16;
+    UExprPtr e = UExpr::make(
+        UOp::VvMpyAdd,
+        {load_leaf(0), load_leaf(1), load_leaf(2), const_leaf(3)}, p);
+    Value v = evaluate(e, env);
+    const Buffer &b = env.buffer(0);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(v[i], wrap(u16, b.at(i, 0) * b.at(i + 1, 0) +
+                                      b.at(i + 2, 0) * 3));
+    }
+}
+
+TEST(UirInterp, LaneWiseOps)
+{
+    Env env = env_with_ramp();
+    UExprPtr a = load_leaf(0), b = load_leaf(3);
+    const Buffer &buf = env.buffer(0);
+    auto lane = [&](int i, int dx) { return buf.at(i + dx, 0); };
+
+    Value vmin = evaluate(UExpr::make(UOp::Min, {a, b}), env);
+    Value vmax = evaluate(UExpr::make(UOp::Max, {a, b}), env);
+    Value vabs = evaluate(UExpr::make(UOp::AbsDiff, {a, b}), env);
+    UParams rnd;
+    rnd.round = true;
+    Value vavg = evaluate(UExpr::make(UOp::Average, {a, b}, rnd), env);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(vmin[i], std::min(lane(i, 0), lane(i, 3)));
+        EXPECT_EQ(vmax[i], std::max(lane(i, 0), lane(i, 3)));
+        EXPECT_EQ(vabs[i], std::abs(lane(i, 0) - lane(i, 3)));
+        EXPECT_EQ(vavg[i], (lane(i, 0) + lane(i, 3) + 1) >> 1);
+    }
+}
+
+TEST(UirInterp, CompareSelectAndLogic)
+{
+    Env env = env_with_ramp();
+    UExprPtr a = load_leaf(0), b = load_leaf(1);
+    UExprPtr cond = UExpr::make(UOp::Lt, {a, b});
+    Value sel =
+        evaluate(UExpr::make(UOp::Select, {cond, a, b}), env);
+    const Buffer &buf = env.buffer(0);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(sel[i], std::min(buf.at(i, 0), buf.at(i + 1, 0)));
+
+    Value va = evaluate(UExpr::make(UOp::And, {a, b}), env);
+    Value vo = evaluate(UExpr::make(UOp::Or, {a, b}), env);
+    Value vx = evaluate(UExpr::make(UOp::Xor, {a, b}), env);
+    Value vn = evaluate(UExpr::make(UOp::Not, {a}), env);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(va[i], buf.at(i, 0) & buf.at(i + 1, 0));
+        EXPECT_EQ(vo[i], buf.at(i, 0) | buf.at(i + 1, 0));
+        EXPECT_EQ(vx[i], buf.at(i, 0) ^ buf.at(i + 1, 0));
+        EXPECT_EQ(vn[i], wrap(u8, ~buf.at(i, 0)));
+    }
+}
+
+TEST(UirInterp, ShiftWithRounding)
+{
+    Env env = env_with_ramp();
+    UParams p;
+    p.round = true;
+    UExprPtr e = UExpr::make(
+        UOp::ShiftRight, {load_leaf(), const_leaf(2)}, p);
+    Value v = evaluate(e, env);
+    const Buffer &b = env.buffer(0);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(v[i], (b.at(i, 0) + 2) >> 2);
+}
+
+TEST(UirPrinter, PaperStyleRendering)
+{
+    UParams p;
+    p.out_elem = i16;
+    p.kernel = {2, 1, 1};
+    UExprPtr e = UExpr::make(
+        UOp::VsMpyAdd, {load_leaf(0), load_leaf(-1), load_leaf(1)}, p);
+    const std::string s = to_string(e);
+    EXPECT_NE(s.find("vs-mpy-add"), std::string::npos);
+    EXPECT_NE(s.find("load-data"), std::string::npos);
+    EXPECT_NE(s.find("[kernel: '(2 1 1)]"), std::string::npos);
+    EXPECT_NE(s.find("[saturating: #f]"), std::string::npos);
+    EXPECT_NE(s.find("[output-type: i16]"), std::string::npos);
+}
+
+TEST(UExpr, DeepEquality)
+{
+    UParams p;
+    p.out_elem = u16;
+    p.kernel = {1, 2};
+    UExprPtr a =
+        UExpr::make(UOp::VsMpyAdd, {load_leaf(0), load_leaf(1)}, p);
+    UExprPtr b =
+        UExpr::make(UOp::VsMpyAdd, {load_leaf(0), load_leaf(1)}, p);
+    EXPECT_TRUE(equal(a, b));
+    UParams p2 = p;
+    p2.kernel = {1, 3};
+    UExprPtr c =
+        UExpr::make(UOp::VsMpyAdd, {load_leaf(0), load_leaf(1)}, p2);
+    EXPECT_FALSE(equal(a, c));
+}
+
+} // namespace
+} // namespace rake

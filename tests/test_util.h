@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Shared helpers for the test suite: deterministic random expression
+ * generation (for differential and property testing) and environment
+ * construction.
+ */
+#ifndef RAKE_TESTS_TEST_UTIL_H
+#define RAKE_TESTS_TEST_UTIL_H
+
+#include <vector>
+
+#include "hir/analysis.h"
+#include "hir/builder.h"
+#include "hir/expr.h"
+#include "support/rng.h"
+#include "synth/spec.h"
+
+namespace rake::test {
+
+/**
+ * Deterministic random HIR expression generator.
+ *
+ * Produces type-correct expression trees over loads of a u8 and a u16
+ * buffer, broadcast constants and one scalar variable, exercising
+ * every HIR operator. Used for differential testing of the
+ * interpreters, the simplifier, the s-expression round-trip, the
+ * baseline selector, and the z3 encoder.
+ */
+class ExprGen
+{
+  public:
+    explicit ExprGen(uint64_t seed, int lanes = 16)
+        : rng_(seed), lanes_(lanes)
+    {
+    }
+
+    hir::ExprPtr
+    gen(int depth = 3)
+    {
+        return vec_expr(ScalarType::UInt16, depth);
+    }
+
+    /** Random expression of the requested element type. */
+    hir::ExprPtr
+    gen_typed(ScalarType t, int depth)
+    {
+        return vec_expr(t, depth);
+    }
+
+  private:
+    hir::ExprPtr
+    leaf(ScalarType t)
+    {
+        switch (rng_.range(0, 3)) {
+          case 0:
+            if (t == ScalarType::UInt8)
+                return hir::Expr::make_load(
+                    hir::LoadRef{0, static_cast<int>(rng_.range(-2, 2)),
+                                 static_cast<int>(rng_.range(-1, 1))},
+                    VecType(t, lanes_));
+            if (t == ScalarType::UInt16)
+                return hir::Expr::make_load(
+                    hir::LoadRef{1, static_cast<int>(rng_.range(-2, 2)),
+                                 0},
+                    VecType(t, lanes_));
+            return hir::Expr::make_const(rng_.range(-20, 20),
+                                         VecType(t, lanes_));
+          case 1:
+            return hir::Expr::make_const(rng_.range(-64, 64),
+                                         VecType(t, lanes_));
+          default:
+            return hir::Expr::make_broadcast(
+                hir::Expr::make_var("v", VecType(ScalarType::Int16, 1)),
+                lanes_);
+        }
+    }
+
+    hir::ExprPtr
+    vec_expr(ScalarType t, int depth)
+    {
+        using hir::Expr;
+        using hir::Op;
+        if (depth <= 0) {
+            hir::ExprPtr l = leaf(t);
+            if (l->type().elem != t)
+                return Expr::make_cast(t, l);
+            return l;
+        }
+        switch (rng_.range(0, 9)) {
+          case 0:
+            return Expr::make(Op::Add, {vec_expr(t, depth - 1),
+                                        vec_expr(t, depth - 1)});
+          case 1:
+            return Expr::make(Op::Sub, {vec_expr(t, depth - 1),
+                                        vec_expr(t, depth - 1)});
+          case 2:
+            return Expr::make(Op::Mul,
+                              {vec_expr(t, depth - 1),
+                               Expr::make_const(rng_.range(-4, 4),
+                                                VecType(t, lanes_))});
+          case 3:
+            return Expr::make(Op::Min, {vec_expr(t, depth - 1),
+                                        vec_expr(t, depth - 1)});
+          case 4:
+            return Expr::make(Op::Max, {vec_expr(t, depth - 1),
+                                        vec_expr(t, depth - 1)});
+          case 5:
+            return Expr::make(Op::AbsDiff, {vec_expr(t, depth - 1),
+                                            vec_expr(t, depth - 1)});
+          case 6:
+            return Expr::make(
+                Op::ShiftRight,
+                {vec_expr(t, depth - 1),
+                 Expr::make_const(rng_.range(0, 3),
+                                  VecType(t, lanes_))});
+          case 7: {
+            // Cast through the other width and back keeps the tree
+            // type-correct while exercising Cast.
+            ScalarType other = bits(t) <= 16 ? ScalarType::Int32
+                                             : ScalarType::Int16;
+            return Expr::make_cast(
+                t, Expr::make_cast(other, vec_expr(t, depth - 1)));
+          }
+          case 8:
+            return Expr::make(
+                Op::Select,
+                {Expr::make(Op::Lt,
+                            {vec_expr(t, depth - 1),
+                             vec_expr(t, depth - 1)}),
+                 vec_expr(t, depth - 1), vec_expr(t, depth - 1)});
+          default:
+            return Expr::make(Op::And, {vec_expr(t, depth - 1),
+                                        vec_expr(t, depth - 1)});
+        }
+    }
+
+    Rng rng_;
+    int lanes_;
+};
+
+/** Example environments for an arbitrary expression. */
+inline std::vector<Env>
+environments_for(const hir::ExprPtr &e, int count, uint64_t seed = 3)
+{
+    synth::Spec spec = synth::Spec::from_expr(e);
+    synth::ExamplePool pool(spec, seed);
+    std::vector<Env> envs;
+    for (int i = 0; i < count; ++i)
+        envs.push_back(pool.at(i));
+    return envs;
+}
+
+} // namespace rake::test
+
+#endif // RAKE_TESTS_TEST_UTIL_H

@@ -1,0 +1,29 @@
+#include <cstdio>
+#include <iostream>
+#include "pipeline/benchmarks.h"
+#include "sim/linearize.h"
+int main(int argc, char** argv) {
+    using namespace rake;
+    using namespace rake::pipeline;
+    CompileOptions opts;
+    opts.validate = false;
+    for (const Benchmark& b : benchmark_suite()) {
+        if (argc > 1 && b.name != std::string(argv[1])) continue;
+        BenchmarkResult r = compile_benchmark(b, opts);
+        for (const auto& ec : r.exprs) {
+            auto dump = [&](const char* tag, const hvx::InstrPtr& code,
+                            const sim::ScheduleStats& st) {
+                hvx::Cost c = hvx::cost_of(code, opts.rake.target);
+                printf("%-16s %-12s %-9s II=%-3d insns=%-3d  ld=%d mpy=%d sh=%d pm=%d alu=%d\n",
+                       b.name.c_str(), ec.kernel->name.c_str(), tag,
+                       st.initiation_interval, st.instructions,
+                       c.per_resource[0], c.per_resource[1],
+                       c.per_resource[2], c.per_resource[3],
+                       c.per_resource[4]);
+            };
+            dump("baseline", ec.baseline, ec.baseline_sched);
+            dump("rake", ec.rake ? ec.rake : ec.baseline, ec.rake_sched);
+        }
+    }
+    return 0;
+}

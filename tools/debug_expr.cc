@@ -1,0 +1,34 @@
+#include <iostream>
+#include "pipeline/benchmarks.h"
+#include "hir/printer.h"
+#include "hvx/printer.h"
+#include "uir/printer.h"
+#include "synth/rake.h"
+#include "baseline/halide_optimizer.h"
+#include "hir/simplify.h"
+int main(int argc, char** argv) {
+    using namespace rake;
+    std::string name = argc > 1 ? argv[1] : "box_blur";
+    const auto& b = pipeline::benchmark(name);
+    for (const auto& ke : b.exprs) {
+        std::cerr << "expr " << ke.name << ": " << hir::to_string(ke.expr) << "\n";
+        synth::RakeOptions opts;
+        // Stage-by-stage for debugging
+        hir::ExprPtr norm = hir::simplify(ke.expr);
+        std::cerr << "simplified: " << hir::to_string(norm) << "\n";
+        synth::Spec spec = synth::Spec::from_expr(norm);
+        synth::ExamplePool pool(spec, 1);
+        synth::Verifier verifier(spec, pool);
+        std::cerr << "lifting...\n";
+        auto lifted = synth::lift_to_uir(verifier);
+        std::cerr << "lifted: " << uir::to_string(lifted.expr) << "\n";
+        std::cerr << "baseline...\n";
+        auto base = baseline::select_instructions(norm, opts.target);
+        std::cerr << hvx::to_listing(base) << "\n";
+        std::cerr << "lowering...\n";
+        auto low = synth::lower_to_hvx(verifier, lifted.expr, opts.target, opts.lower);
+        if (!low) { std::cerr << "LOWERING FAILED\n"; continue; }
+        std::cerr << hvx::to_listing(low->instr) << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+#include <iostream>
+#include "hir/builder.h"
+#include "hir/printer.h"
+#include "hvx/printer.h"
+#include "uir/printer.h"
+#include "hir/simplify.h"
+#include "synth/rake.h"
+using namespace rake;
+using namespace rake::hir;
+int main() {
+    const int L = 128;
+    auto t2 = [&](int dx, int dy, int w) {
+        return cast(ScalarType::Int32, cast(ScalarType::Int16, load(0, ScalarType::UInt8, L, dx, dy))) * w;
+    };
+    auto t = [&](int dx, int w) { return t2(dx, 0, w); };
+    {
+        // full conv3x3a32 inner sum
+        const int w[3][3] = {{1, -2, 1}, {-2, 12, -2}, {1, -2, 1}};
+        HExpr sum;
+        for (int dy = -1; dy <= 1; ++dy)
+            for (int dx = -1; dx <= 1; ++dx) {
+                HExpr term = t2(dx, dy, w[dy+1][dx+1] * 37);
+                sum = sum.defined() ? sum + term : term;
+            }
+        synth::RakeOptions opts;
+        auto r = synth::select_instructions(sum.ptr(), opts);
+        std::cout << "conv9: " << (r ? "OK" : "FAILED") << "\n";
+        if (r) std::cout << hvx::to_listing(r->instr);
+    }
+    for (auto weights : std::vector<std::vector<int>>{{1,444}, {37,-74}, {37,-74,444}, {37,-74,37,-74,444}}) {
+        HExpr sum;
+        int dx = 0;
+        for (int w : weights) {
+            HExpr term = t(dx++, w);
+            sum = sum.defined() ? sum + term : term;
+        }
+        synth::RakeOptions opts;
+        auto r = synth::select_instructions(sum.ptr(), opts);
+        std::cout << "weights n=" << weights.size() << ": "
+                  << (r ? "OK" : "FAILED") << "\n";
+        if (r) std::cout << hvx::to_listing(r->instr);
+    }
+    return 0;
+}

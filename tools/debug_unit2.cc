@@ -1,0 +1,18 @@
+#include <iostream>
+#include "hir/builder.h"
+#include "hvx/printer.h"
+#include "hvx/cost.h"
+#include "synth/rake.h"
+using namespace rake; using namespace rake::hir;
+int main() {
+    const int L = 128;
+    auto ld = [&](int dx,int dy){ return load(0, ScalarType::UInt8, L, dx, dy); };
+    auto w16=[&](HExpr e){ return cast(ScalarType::UInt16, e); };
+    HExpr e = w16(ld(-1,-1)) + w16(ld(-1,0)) * 2 + w16(ld(-1,1));
+    synth::RakeOptions opts;
+    auto r = synth::select_instructions(e.ptr(), opts);
+    if (!r) { std::cout << "FAILED\n"; return 1; }
+    std::cout << hvx::to_listing(r->instr)
+              << to_string(hvx::cost_of(r->instr, opts.target)) << "\n";
+    return 0;
+}
