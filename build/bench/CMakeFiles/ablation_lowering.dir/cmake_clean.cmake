@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lowering.dir/ablation_lowering.cc.o"
+  "CMakeFiles/ablation_lowering.dir/ablation_lowering.cc.o.d"
+  "ablation_lowering"
+  "ablation_lowering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lowering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

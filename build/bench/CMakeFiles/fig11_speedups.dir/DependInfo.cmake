@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_speedups.cc" "bench/CMakeFiles/fig11_speedups.dir/fig11_speedups.cc.o" "gcc" "bench/CMakeFiles/fig11_speedups.dir/fig11_speedups.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rake_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_neon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_hvx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_uir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_patterns.dir/fig12_patterns.cc.o"
+  "CMakeFiles/fig12_patterns.dir/fig12_patterns.cc.o.d"
+  "fig12_patterns"
+  "fig12_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sobel_codegen.dir/fig4_sobel_codegen.cc.o"
+  "CMakeFiles/fig4_sobel_codegen.dir/fig4_sobel_codegen.cc.o.d"
+  "fig4_sobel_codegen"
+  "fig4_sobel_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sobel_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isel_explorer.dir/isel_explorer.cpp.o"
+  "CMakeFiles/isel_explorer.dir/isel_explorer.cpp.o.d"
+  "isel_explorer"
+  "isel_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isel_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

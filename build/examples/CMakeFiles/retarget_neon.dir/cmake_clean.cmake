@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retarget_neon.dir/retarget_neon.cpp.o"
+  "CMakeFiles/retarget_neon.dir/retarget_neon.cpp.o.d"
+  "retarget_neon"
+  "retarget_neon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retarget_neon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rake_base.dir/base/type.cc.o"
+  "CMakeFiles/rake_base.dir/base/type.cc.o.d"
+  "CMakeFiles/rake_base.dir/base/value.cc.o"
+  "CMakeFiles/rake_base.dir/base/value.cc.o.d"
+  "librake_base.a"
+  "librake_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rake_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

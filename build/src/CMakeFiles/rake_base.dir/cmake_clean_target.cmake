@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librake_base.a"
+)

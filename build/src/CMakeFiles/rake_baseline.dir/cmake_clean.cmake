@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rake_baseline.dir/baseline/halide_optimizer.cc.o"
+  "CMakeFiles/rake_baseline.dir/baseline/halide_optimizer.cc.o.d"
+  "librake_baseline.a"
+  "librake_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rake_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

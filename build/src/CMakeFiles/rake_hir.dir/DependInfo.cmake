@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hir/analysis.cc" "src/CMakeFiles/rake_hir.dir/hir/analysis.cc.o" "gcc" "src/CMakeFiles/rake_hir.dir/hir/analysis.cc.o.d"
+  "/root/repo/src/hir/builder.cc" "src/CMakeFiles/rake_hir.dir/hir/builder.cc.o" "gcc" "src/CMakeFiles/rake_hir.dir/hir/builder.cc.o.d"
+  "/root/repo/src/hir/expr.cc" "src/CMakeFiles/rake_hir.dir/hir/expr.cc.o" "gcc" "src/CMakeFiles/rake_hir.dir/hir/expr.cc.o.d"
+  "/root/repo/src/hir/interp.cc" "src/CMakeFiles/rake_hir.dir/hir/interp.cc.o" "gcc" "src/CMakeFiles/rake_hir.dir/hir/interp.cc.o.d"
+  "/root/repo/src/hir/printer.cc" "src/CMakeFiles/rake_hir.dir/hir/printer.cc.o" "gcc" "src/CMakeFiles/rake_hir.dir/hir/printer.cc.o.d"
+  "/root/repo/src/hir/sexpr.cc" "src/CMakeFiles/rake_hir.dir/hir/sexpr.cc.o" "gcc" "src/CMakeFiles/rake_hir.dir/hir/sexpr.cc.o.d"
+  "/root/repo/src/hir/simplify.cc" "src/CMakeFiles/rake_hir.dir/hir/simplify.cc.o" "gcc" "src/CMakeFiles/rake_hir.dir/hir/simplify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rake_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rake_hir.dir/hir/analysis.cc.o"
+  "CMakeFiles/rake_hir.dir/hir/analysis.cc.o.d"
+  "CMakeFiles/rake_hir.dir/hir/builder.cc.o"
+  "CMakeFiles/rake_hir.dir/hir/builder.cc.o.d"
+  "CMakeFiles/rake_hir.dir/hir/expr.cc.o"
+  "CMakeFiles/rake_hir.dir/hir/expr.cc.o.d"
+  "CMakeFiles/rake_hir.dir/hir/interp.cc.o"
+  "CMakeFiles/rake_hir.dir/hir/interp.cc.o.d"
+  "CMakeFiles/rake_hir.dir/hir/printer.cc.o"
+  "CMakeFiles/rake_hir.dir/hir/printer.cc.o.d"
+  "CMakeFiles/rake_hir.dir/hir/sexpr.cc.o"
+  "CMakeFiles/rake_hir.dir/hir/sexpr.cc.o.d"
+  "CMakeFiles/rake_hir.dir/hir/simplify.cc.o"
+  "CMakeFiles/rake_hir.dir/hir/simplify.cc.o.d"
+  "librake_hir.a"
+  "librake_hir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rake_hir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

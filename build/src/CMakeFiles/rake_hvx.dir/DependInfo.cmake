@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hvx/cost.cc" "src/CMakeFiles/rake_hvx.dir/hvx/cost.cc.o" "gcc" "src/CMakeFiles/rake_hvx.dir/hvx/cost.cc.o.d"
+  "/root/repo/src/hvx/instr.cc" "src/CMakeFiles/rake_hvx.dir/hvx/instr.cc.o" "gcc" "src/CMakeFiles/rake_hvx.dir/hvx/instr.cc.o.d"
+  "/root/repo/src/hvx/interp.cc" "src/CMakeFiles/rake_hvx.dir/hvx/interp.cc.o" "gcc" "src/CMakeFiles/rake_hvx.dir/hvx/interp.cc.o.d"
+  "/root/repo/src/hvx/isa.cc" "src/CMakeFiles/rake_hvx.dir/hvx/isa.cc.o" "gcc" "src/CMakeFiles/rake_hvx.dir/hvx/isa.cc.o.d"
+  "/root/repo/src/hvx/printer.cc" "src/CMakeFiles/rake_hvx.dir/hvx/printer.cc.o" "gcc" "src/CMakeFiles/rake_hvx.dir/hvx/printer.cc.o.d"
+  "/root/repo/src/hvx/sexpr.cc" "src/CMakeFiles/rake_hvx.dir/hvx/sexpr.cc.o" "gcc" "src/CMakeFiles/rake_hvx.dir/hvx/sexpr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rake_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rake_hvx.dir/hvx/cost.cc.o"
+  "CMakeFiles/rake_hvx.dir/hvx/cost.cc.o.d"
+  "CMakeFiles/rake_hvx.dir/hvx/instr.cc.o"
+  "CMakeFiles/rake_hvx.dir/hvx/instr.cc.o.d"
+  "CMakeFiles/rake_hvx.dir/hvx/interp.cc.o"
+  "CMakeFiles/rake_hvx.dir/hvx/interp.cc.o.d"
+  "CMakeFiles/rake_hvx.dir/hvx/isa.cc.o"
+  "CMakeFiles/rake_hvx.dir/hvx/isa.cc.o.d"
+  "CMakeFiles/rake_hvx.dir/hvx/printer.cc.o"
+  "CMakeFiles/rake_hvx.dir/hvx/printer.cc.o.d"
+  "CMakeFiles/rake_hvx.dir/hvx/sexpr.cc.o"
+  "CMakeFiles/rake_hvx.dir/hvx/sexpr.cc.o.d"
+  "librake_hvx.a"
+  "librake_hvx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rake_hvx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neon/instr.cc" "src/CMakeFiles/rake_neon.dir/neon/instr.cc.o" "gcc" "src/CMakeFiles/rake_neon.dir/neon/instr.cc.o.d"
+  "/root/repo/src/neon/select.cc" "src/CMakeFiles/rake_neon.dir/neon/select.cc.o" "gcc" "src/CMakeFiles/rake_neon.dir/neon/select.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rake_uir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_hvx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rake_neon.dir/neon/instr.cc.o"
+  "CMakeFiles/rake_neon.dir/neon/instr.cc.o.d"
+  "CMakeFiles/rake_neon.dir/neon/select.cc.o"
+  "CMakeFiles/rake_neon.dir/neon/select.cc.o.d"
+  "librake_neon.a"
+  "librake_neon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rake_neon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

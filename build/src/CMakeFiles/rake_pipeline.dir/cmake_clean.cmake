@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rake_pipeline.dir/pipeline/benchmarks.cc.o"
+  "CMakeFiles/rake_pipeline.dir/pipeline/benchmarks.cc.o.d"
+  "CMakeFiles/rake_pipeline.dir/pipeline/compiler.cc.o"
+  "CMakeFiles/rake_pipeline.dir/pipeline/compiler.cc.o.d"
+  "CMakeFiles/rake_pipeline.dir/pipeline/executor.cc.o"
+  "CMakeFiles/rake_pipeline.dir/pipeline/executor.cc.o.d"
+  "CMakeFiles/rake_pipeline.dir/pipeline/report.cc.o"
+  "CMakeFiles/rake_pipeline.dir/pipeline/report.cc.o.d"
+  "librake_pipeline.a"
+  "librake_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rake_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rake_sim.dir/sim/linearize.cc.o"
+  "CMakeFiles/rake_sim.dir/sim/linearize.cc.o.d"
+  "CMakeFiles/rake_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/rake_sim.dir/sim/simulator.cc.o.d"
+  "librake_sim.a"
+  "librake_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rake_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/lift.cc" "src/CMakeFiles/rake_synth.dir/synth/lift.cc.o" "gcc" "src/CMakeFiles/rake_synth.dir/synth/lift.cc.o.d"
+  "/root/repo/src/synth/lower.cc" "src/CMakeFiles/rake_synth.dir/synth/lower.cc.o" "gcc" "src/CMakeFiles/rake_synth.dir/synth/lower.cc.o.d"
+  "/root/repo/src/synth/rake.cc" "src/CMakeFiles/rake_synth.dir/synth/rake.cc.o" "gcc" "src/CMakeFiles/rake_synth.dir/synth/rake.cc.o.d"
+  "/root/repo/src/synth/sketch.cc" "src/CMakeFiles/rake_synth.dir/synth/sketch.cc.o" "gcc" "src/CMakeFiles/rake_synth.dir/synth/sketch.cc.o.d"
+  "/root/repo/src/synth/spec.cc" "src/CMakeFiles/rake_synth.dir/synth/spec.cc.o" "gcc" "src/CMakeFiles/rake_synth.dir/synth/spec.cc.o.d"
+  "/root/repo/src/synth/swizzle.cc" "src/CMakeFiles/rake_synth.dir/synth/swizzle.cc.o" "gcc" "src/CMakeFiles/rake_synth.dir/synth/swizzle.cc.o.d"
+  "/root/repo/src/synth/symbolic_vector.cc" "src/CMakeFiles/rake_synth.dir/synth/symbolic_vector.cc.o" "gcc" "src/CMakeFiles/rake_synth.dir/synth/symbolic_vector.cc.o.d"
+  "/root/repo/src/synth/verify.cc" "src/CMakeFiles/rake_synth.dir/synth/verify.cc.o" "gcc" "src/CMakeFiles/rake_synth.dir/synth/verify.cc.o.d"
+  "/root/repo/src/synth/z3_verify.cc" "src/CMakeFiles/rake_synth.dir/synth/z3_verify.cc.o" "gcc" "src/CMakeFiles/rake_synth.dir/synth/z3_verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rake_uir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_hvx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

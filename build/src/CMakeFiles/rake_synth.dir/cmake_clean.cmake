@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rake_synth.dir/synth/lift.cc.o"
+  "CMakeFiles/rake_synth.dir/synth/lift.cc.o.d"
+  "CMakeFiles/rake_synth.dir/synth/lower.cc.o"
+  "CMakeFiles/rake_synth.dir/synth/lower.cc.o.d"
+  "CMakeFiles/rake_synth.dir/synth/rake.cc.o"
+  "CMakeFiles/rake_synth.dir/synth/rake.cc.o.d"
+  "CMakeFiles/rake_synth.dir/synth/sketch.cc.o"
+  "CMakeFiles/rake_synth.dir/synth/sketch.cc.o.d"
+  "CMakeFiles/rake_synth.dir/synth/spec.cc.o"
+  "CMakeFiles/rake_synth.dir/synth/spec.cc.o.d"
+  "CMakeFiles/rake_synth.dir/synth/swizzle.cc.o"
+  "CMakeFiles/rake_synth.dir/synth/swizzle.cc.o.d"
+  "CMakeFiles/rake_synth.dir/synth/symbolic_vector.cc.o"
+  "CMakeFiles/rake_synth.dir/synth/symbolic_vector.cc.o.d"
+  "CMakeFiles/rake_synth.dir/synth/verify.cc.o"
+  "CMakeFiles/rake_synth.dir/synth/verify.cc.o.d"
+  "CMakeFiles/rake_synth.dir/synth/z3_verify.cc.o"
+  "CMakeFiles/rake_synth.dir/synth/z3_verify.cc.o.d"
+  "librake_synth.a"
+  "librake_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rake_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

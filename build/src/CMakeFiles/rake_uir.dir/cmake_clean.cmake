@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rake_uir.dir/uir/interp.cc.o"
+  "CMakeFiles/rake_uir.dir/uir/interp.cc.o.d"
+  "CMakeFiles/rake_uir.dir/uir/printer.cc.o"
+  "CMakeFiles/rake_uir.dir/uir/printer.cc.o.d"
+  "CMakeFiles/rake_uir.dir/uir/uexpr.cc.o"
+  "CMakeFiles/rake_uir.dir/uir/uexpr.cc.o.d"
+  "librake_uir.a"
+  "librake_uir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rake_uir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rake_uir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_base.cc" "tests/CMakeFiles/rake_tests.dir/test_base.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_base.cc.o.d"
+  "/root/repo/tests/test_baseline.cc" "tests/CMakeFiles/rake_tests.dir/test_baseline.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_baseline.cc.o.d"
+  "/root/repo/tests/test_executor.cc" "tests/CMakeFiles/rake_tests.dir/test_executor.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_executor.cc.o.d"
+  "/root/repo/tests/test_hir.cc" "tests/CMakeFiles/rake_tests.dir/test_hir.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_hir.cc.o.d"
+  "/root/repo/tests/test_hvx.cc" "tests/CMakeFiles/rake_tests.dir/test_hvx.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_hvx.cc.o.d"
+  "/root/repo/tests/test_lift.cc" "tests/CMakeFiles/rake_tests.dir/test_lift.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_lift.cc.o.d"
+  "/root/repo/tests/test_lower.cc" "tests/CMakeFiles/rake_tests.dir/test_lower.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_lower.cc.o.d"
+  "/root/repo/tests/test_neon.cc" "tests/CMakeFiles/rake_tests.dir/test_neon.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_neon.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/rake_tests.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/rake_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/rake_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_swizzle.cc" "tests/CMakeFiles/rake_tests.dir/test_swizzle.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_swizzle.cc.o.d"
+  "/root/repo/tests/test_synth.cc" "tests/CMakeFiles/rake_tests.dir/test_synth.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_synth.cc.o.d"
+  "/root/repo/tests/test_uir.cc" "tests/CMakeFiles/rake_tests.dir/test_uir.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_uir.cc.o.d"
+  "/root/repo/tests/test_z3.cc" "tests/CMakeFiles/rake_tests.dir/test_z3.cc.o" "gcc" "tests/CMakeFiles/rake_tests.dir/test_z3.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rake_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_neon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_hvx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_uir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rake_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

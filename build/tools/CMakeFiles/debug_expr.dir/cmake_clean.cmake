@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_expr.dir/debug_expr.cc.o"
+  "CMakeFiles/debug_expr.dir/debug_expr.cc.o.d"
+  "debug_expr"
+  "debug_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

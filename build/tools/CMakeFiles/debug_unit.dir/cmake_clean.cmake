@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_unit.dir/debug_unit.cc.o"
+  "CMakeFiles/debug_unit.dir/debug_unit.cc.o.d"
+  "debug_unit"
+  "debug_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_unit2.dir/debug_unit2.cc.o"
+  "CMakeFiles/debug_unit2.dir/debug_unit2.cc.o.d"
+  "debug_unit2"
+  "debug_unit2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_unit2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
