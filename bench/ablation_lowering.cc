@@ -16,6 +16,7 @@
 
 #include "pipeline/benchmarks.h"
 #include "pipeline/report.h"
+#include "synth/cache.h"
 
 namespace {
 
@@ -31,8 +32,9 @@ struct Config {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs args = parse_bench_args(argc, argv);
     const std::vector<std::string> names = {"sobel", "gaussian3x3",
                                             "conv3x3a16", "mean"};
 
@@ -70,6 +72,7 @@ main()
             CompileOptions opts;
             opts.rake.lower = cfg.lower;
             opts.baseline = cfg.baseline;
+            opts.jobs = args.jobs;
             BenchmarkResult r = compile_benchmark(b, opts);
             table.add_row({name, cfg.name, fmt(r.speedup) + "x",
                            std::to_string(r.rake_cycles),
@@ -79,6 +82,12 @@ main()
         }
     }
     std::cout << table.to_string() << "\n";
+    // The 'baseline-no-peephole' config shares its synthesis options
+    // with 'full', so its Rake results all come from the cache.
+    const synth::CacheStats cache = synth::synthesis_cache().stats();
+    std::cout << "synthesis cache: " << cache.hits << " hits, "
+              << cache.misses << " misses across the "
+              << configs.size() << " configs\n";
     std::cout << "expected: 'full' never slower than the ablations; "
                  "no-layouts adds shuffles (more rake cycles); "
                  "no-backtracking may settle for worse code; "

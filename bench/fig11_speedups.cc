@@ -16,11 +16,12 @@
 int
 main(int argc, char **argv)
 {
-    const std::string only = argc > 1 ? argv[1] : "";
     using namespace rake;
     using namespace rake::pipeline;
 
+    const BenchArgs args = parse_bench_args(argc, argv);
     CompileOptions opts;
+    opts.jobs = args.jobs;
     std::vector<BenchmarkResult> results;
     std::vector<double> speedups;
 
@@ -30,7 +31,7 @@ main(int argc, char **argv)
     Table table({"benchmark", "exprs", "baseline cycles", "rake cycles",
                  "speedup"});
     for (const Benchmark &b : benchmark_suite()) {
-        if (!only.empty() && b.name != only)
+        if (!args.only.empty() && b.name != args.only)
             continue;
         std::cerr << "[fig11] compiling " << b.name << "...\n";
         BenchmarkResult r = compile_benchmark(b, opts);

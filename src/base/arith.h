@@ -67,8 +67,13 @@ shift_right(int64_t v, int n, bool round = false)
         return v;
     if (n >= 63)
         return v < 0 ? -1 : 0;
-    if (round)
-        v += int64_t{1} << (n - 1);
+    if (round) {
+        // The rounding add wraps in uint64_t: v near INT64_MAX (a
+        // widening-multiply accumulator can get there) must not
+        // overflow the signed carrier, which would be UB.
+        v = static_cast<int64_t>(static_cast<uint64_t>(v) +
+                                 (uint64_t{1} << (n - 1)));
+    }
     return v >> n;
 }
 
@@ -119,7 +124,12 @@ sub_sat(ScalarType t, int64_t a, int64_t b)
 inline int64_t
 average(ScalarType t, int64_t a, int64_t b, bool round)
 {
-    return wrap(t, (a + b + (round ? 1 : 0)) >> 1);
+    // Sum in uint64_t so extreme int64 carriers cannot overflow
+    // (UB); the wrap-around result matches machine semantics.
+    const int64_t sum = static_cast<int64_t>(
+        static_cast<uint64_t>(a) + static_cast<uint64_t>(b) +
+        (round ? 1u : 0u));
+    return wrap(t, sum >> 1);
 }
 
 /**
@@ -129,7 +139,12 @@ average(ScalarType t, int64_t a, int64_t b, bool round)
 inline int64_t
 neg_average(ScalarType t, int64_t a, int64_t b, bool round)
 {
-    return wrap(t, (a - b + (round ? 1 : 0)) >> 1);
+    // Same unsigned-carrier trick as average(): a - b can overflow
+    // int64 when the operands have opposite extreme signs.
+    const int64_t diff = static_cast<int64_t>(
+        static_cast<uint64_t>(a) - static_cast<uint64_t>(b) +
+        (round ? 1u : 0u));
+    return wrap(t, diff >> 1);
 }
 
 /** Absolute difference, always non-negative; exact in int64 carriers. */

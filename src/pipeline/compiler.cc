@@ -6,6 +6,8 @@
 #include "hir/interp.h"
 #include "hvx/interp.h"
 #include "support/error.h"
+#include "support/thread_pool.h"
+#include "synth/cache.h"
 
 namespace rake::pipeline {
 
@@ -28,7 +30,8 @@ validate_against_reference(const hir::ExprPtr &ref,
 {
     synth::Spec spec = synth::Spec::from_expr(ref);
     synth::ExamplePool pool(spec, seed);
-    for (int i = 0; i < trials + 5; ++i) {
+    const int n = trials + synth::ExamplePool::kCornerExamples;
+    for (int i = 0; i < n; ++i) {
         const Env &env = pool.at(i);
         const Value expected = hir::evaluate(ref, env);
         const Value actual = hvx::evaluate(impl, env);
@@ -47,8 +50,21 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
     result.name = bench.name;
     result.optimized_exprs = static_cast<int>(bench.exprs.size());
 
+    const synth::CacheStats cache_before =
+        synth::synthesis_cache().stats();
     const double t0 = now_seconds();
-    for (const KernelExpr &kernel : bench.exprs) {
+    const int n = static_cast<int>(bench.exprs.size());
+    const int jobs = resolve_jobs(opts.jobs);
+
+    // Phase 1 (concurrent): every expression's baseline selection,
+    // Rake synthesis, validation, and scheduling are independent of
+    // the others — per-expression Verifier / ExamplePool /
+    // SwizzleSolver state is local to the call, and the only shared
+    // structure is the mutex-guarded synthesis cache.
+    std::vector<ExprCompilation> compiled(n);
+    parallel_for(n, jobs, [&](int i) {
+        const KernelExpr &kernel = bench.exprs[i];
+        const double e0 = now_seconds();
         ExprCompilation ec;
         ec.kernel = &kernel;
 
@@ -67,12 +83,6 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
         if (rk) {
             ec.rake = rk->instr;
             ec.rake_result = *rk;
-            result.lifting_queries += rk->lift.total_queries();
-            result.lifting_seconds += rk->lift.total_seconds();
-            result.sketch_queries += rk->lower.sketch.queries;
-            result.sketch_seconds += rk->lower.sketch.seconds;
-            result.swizzle_queries += rk->lower.swizzle.queries;
-            result.swizzle_seconds += rk->lower.swizzle.seconds;
         }
 
         if (opts.validate) {
@@ -91,11 +101,30 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
         const hvx::InstrPtr rake_code = ec.rake ? ec.rake : ec.baseline;
         ec.rake_sched =
             sim::schedule(rake_code, opts.rake.target, opts.machine);
+        ec.seconds = now_seconds() - e0;
+        compiled[i] = std::move(ec);
+    });
+
+    // Phase 2 (sequential, in suite order): aggregation is identical
+    // for every job count because it never depends on completion
+    // order.
+    for (int i = 0; i < n; ++i) {
+        ExprCompilation &ec = compiled[i];
+        const KernelExpr &kernel = bench.exprs[i];
+
+        if (ec.rake_result) {
+            const synth::RakeResult &rk = *ec.rake_result;
+            result.lifting_queries += rk.lift.total_queries();
+            result.lifting_seconds += rk.lift.total_seconds();
+            result.sketch_queries += rk.lower.sketch.queries;
+            result.sketch_seconds += rk.lower.sketch.seconds;
+            result.swizzle_queries += rk.lower.swizzle.queries;
+            result.swizzle_seconds += rk.lower.swizzle.seconds;
+        }
 
         // §7.3 cross-expression layout penalty (see Benchmark):
         // charged once, to the first expression of the pipeline.
-        if (bench.rake_boundary_penalty > 0 &&
-            &kernel == &bench.exprs.front()) {
+        if (bench.rake_boundary_penalty > 0 && i == 0) {
             ec.rake_sched.initiation_interval +=
                 bench.rake_boundary_penalty;
             ec.rake_sched.schedule_length +=
@@ -105,9 +134,16 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
         result.baseline_cycles +=
             ec.baseline_sched.cycles(kernel.iterations);
         result.rake_cycles += ec.rake_sched.cycles(kernel.iterations);
+        result.total_seconds += ec.seconds;
         result.exprs.push_back(std::move(ec));
     }
-    result.total_seconds = now_seconds() - t0;
+    result.wall_seconds = now_seconds() - t0;
+
+    const synth::CacheStats cache_after =
+        synth::synthesis_cache().stats();
+    result.cache_hits = cache_after.hits - cache_before.hits;
+    result.cache_misses = cache_after.misses - cache_before.misses;
+
     result.speedup = result.rake_cycles > 0
                          ? static_cast<double>(result.baseline_cycles) /
                                static_cast<double>(result.rake_cycles)

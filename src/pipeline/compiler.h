@@ -56,6 +56,8 @@ struct ExprCompilation {
     std::optional<synth::RakeResult> rake_result;
     sim::ScheduleStats baseline_sched;
     sim::ScheduleStats rake_sched;
+    double seconds = 0.0; ///< this expression's compile time (its own
+                          ///< clock, so the sum is job-count-invariant)
 };
 
 /** Whole-benchmark outcome. */
@@ -74,7 +76,20 @@ struct BenchmarkResult {
     double lifting_seconds = 0.0;
     double sketch_seconds = 0.0;
     double swizzle_seconds = 0.0;
+
+    /**
+     * Sum of per-expression compile seconds — the Table 1 notion of
+     * synthesis effort, independent of how many workers ran.
+     */
     double total_seconds = 0.0;
+
+    /** Wall-clock of the whole benchmark (drops as jobs increase). */
+    double wall_seconds = 0.0;
+
+    // Cross-expression synthesis cache effectiveness (delta of the
+    // process-wide counters over this benchmark's compilation).
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
 };
 
 /** Driver configuration. */
@@ -84,6 +99,14 @@ struct CompileOptions {
     sim::MachineModel machine;
     bool validate = true; ///< cross-check both codegens vs HIR
     int validate_trials = 4;
+
+    /**
+     * Worker threads compiling the benchmark's expressions
+     * concurrently. 0 = take the RAKE_JOBS environment variable
+     * (default 1). Results and statistics are identical for every
+     * job count; only wall_seconds changes.
+     */
+    int jobs = 0;
 };
 
 /** Compile, validate, and simulate one benchmark. */
@@ -92,8 +115,8 @@ BenchmarkResult compile_benchmark(const Benchmark &bench,
 
 /**
  * Functional cross-check of an HVX implementation against the HIR
- * reference on `trials` randomized environments. Throws
- * InternalError on mismatch.
+ * reference on the example pool's deterministic corner patterns plus
+ * `trials` randomized environments. Throws InternalError on mismatch.
  */
 void validate_against_reference(const hir::ExprPtr &ref,
                                 const hvx::InstrPtr &impl, int trials,

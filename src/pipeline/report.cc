@@ -1,6 +1,7 @@
 #include "pipeline/report.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
 
@@ -81,6 +82,29 @@ speedup_bar(const BenchmarkResult &r, double max_speedup)
     os << std::left << std::setw(16) << r.name << " " << std::setw(6)
        << fmt(r.speedup) << "x  " << std::string(bar, '#');
     return os.str();
+}
+
+BenchArgs
+parse_bench_args(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--jobs" || a == "-j") {
+            RAKE_USER_CHECK(i + 1 < argc, a << " needs a value");
+            args.jobs = std::atoi(argv[++i]);
+            RAKE_USER_CHECK(args.jobs > 0,
+                            "bad job count: " << argv[i]);
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            args.jobs = std::atoi(a.c_str() + 7);
+            RAKE_USER_CHECK(args.jobs > 0, "bad job count: " << a);
+        } else {
+            RAKE_USER_CHECK(args.only.empty(),
+                            "unexpected argument: " << a);
+            args.only = a;
+        }
+    }
+    return args;
 }
 
 } // namespace rake::pipeline

@@ -38,6 +38,19 @@ double geomean(const std::vector<double> &values);
 /** One Fig.-11-style row: name, cycles, speedup, ASCII bar. */
 std::string speedup_bar(const BenchmarkResult &r, double max_speedup);
 
+/**
+ * Command-line options shared by the bench drivers:
+ * `[--jobs N] [benchmark-name]`. jobs = 0 defers to the RAKE_JOBS
+ * environment variable (see CompileOptions::jobs).
+ */
+struct BenchArgs {
+    int jobs = 0;     ///< --jobs N / --jobs=N
+    std::string only; ///< positional single-benchmark filter
+};
+
+/** Parse driver flags; throws UserError on malformed input. */
+BenchArgs parse_bench_args(int argc, char **argv);
+
 } // namespace rake::pipeline
 
 #endif // RAKE_PIPELINE_REPORT_H

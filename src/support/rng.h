@@ -51,10 +51,15 @@ class Rng {
     int64_t
     range(int64_t lo, int64_t hi)
     {
-        const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        // Span computed entirely in uint64_t: hi - lo overflows the
+        // signed type for extreme bounds (e.g. INT64_MIN..INT64_MAX),
+        // which is UB; unsigned wrap-around gives the right width.
+        const uint64_t span = static_cast<uint64_t>(hi) -
+                              static_cast<uint64_t>(lo) + 1;
         if (span == 0) // full 64-bit range
             return static_cast<int64_t>(next());
-        return lo + static_cast<int64_t>(next() % span);
+        return static_cast<int64_t>(static_cast<uint64_t>(lo) +
+                                    next() % span);
     }
 
     /** Bernoulli draw with probability num/den. */

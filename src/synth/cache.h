@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cross-expression synthesis cache.
+ *
+ * Rake's compile time is dominated by per-expression synthesis
+ * (paper Table 1), and real pipelines repeat subexpressions — the
+ * shared conv subtrees of the benchmark suite, or the same kernel
+ * compiled under several benchmarks. The cache maps the structural
+ * hash of the (simplified) HIR expression plus a fingerprint of every
+ * option that can influence synthesis to the full RakeResult, so each
+ * distinct (expression, options) pair is synthesized exactly once per
+ * process.
+ *
+ * Concurrency: the table is guarded by one mutex. A lookup that
+ * misses installs an *in-flight* entry; concurrent lookups of the
+ * same key block on a condition variable until the owner publishes,
+ * so a goal is never synthesized twice even when the parallel driver
+ * races identical expressions. Because synthesis is deterministic
+ * (seeded RNG, ordered search), the published result — including its
+ * per-stage statistics — is identical no matter which thread won,
+ * which keeps benchmark statistics bit-identical across job counts.
+ */
+#ifndef RAKE_SYNTH_CACHE_H
+#define RAKE_SYNTH_CACHE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "synth/rake.h"
+
+namespace rake::synth {
+
+/** Cache effectiveness counters (monotonic per process). */
+struct CacheStats {
+    int64_t hits = 0;    ///< lookups answered from the table
+    int64_t misses = 0;  ///< lookups that had to synthesize
+    int64_t entries = 0; ///< distinct keys currently stored
+};
+
+/** Everything beyond the expression that can change a Rake run. */
+uint64_t options_fingerprint(const RakeOptions &opts);
+
+class SynthCache
+{
+  public:
+    /**
+     * One cache slot. `done` flips exactly once, under the cache
+     * mutex; `result` is nullopt while in flight and also when the
+     * owning synthesis failed (failures are cached: they are as
+     * deterministic as successes).
+     */
+    struct Entry {
+        hir::ExprPtr expr;  ///< key expression (deep-compared)
+        uint64_t fingerprint = 0;
+        bool done = false;
+        std::optional<RakeResult> result;
+    };
+    using EntryPtr = std::shared_ptr<Entry>;
+
+    /**
+     * Look up (expr, fingerprint). On a hit, blocks until the entry
+     * is published if another thread is still synthesizing it, then
+     * returns it with *owner = false. On a miss, installs an
+     * in-flight entry and returns it with *owner = true: the caller
+     * MUST publish() it exactly once (publishing a failure is fine),
+     * or every later lookup of the key deadlocks.
+     */
+    EntryPtr acquire(const hir::ExprPtr &expr, uint64_t fingerprint,
+                     bool *owner);
+
+    /** Publish the owner's outcome and wake all waiters. */
+    void publish(const EntryPtr &entry,
+                 std::optional<RakeResult> result);
+
+    CacheStats stats() const;
+
+    /** Drop every entry and zero the counters (tests, benchmarks). */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable published_;
+    std::unordered_map<size_t, std::vector<EntryPtr>> table_;
+    CacheStats stats_;
+};
+
+/** The process-wide cache select_instructions() consults. */
+SynthCache &synthesis_cache();
+
+} // namespace rake::synth
+
+#endif // RAKE_SYNTH_CACHE_H

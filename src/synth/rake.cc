@@ -2,17 +2,17 @@
 
 #include "hir/simplify.h"
 #include "support/error.h"
+#include "synth/cache.h"
 
 namespace rake::synth {
 
+namespace {
+
+/** The three-stage synthesis proper, uncached. */
 std::optional<RakeResult>
-select_instructions(const hir::ExprPtr &expr, const RakeOptions &opts)
+synthesize(const hir::ExprPtr &expr, const hir::ExprPtr &normalized,
+           const RakeOptions &opts)
 {
-    RAKE_USER_CHECK(expr != nullptr, "null expression");
-
-    // Normalize the input the way Halide's lowering would have.
-    hir::ExprPtr normalized = hir::simplify(expr);
-
     Spec spec = Spec::from_expr(normalized);
     ExamplePool pool(spec, opts.seed);
     Verifier verifier(spec, pool, opts.verifier);
@@ -44,6 +44,46 @@ select_instructions(const hir::ExprPtr &expr, const RakeOptions &opts)
         if (outcome.result == ProofResult::Refuted)
             return std::nullopt;
     }
+    return result;
+}
+
+} // namespace
+
+std::optional<RakeResult>
+select_instructions(const hir::ExprPtr &expr, const RakeOptions &opts)
+{
+    RAKE_USER_CHECK(expr != nullptr, "null expression");
+
+    // Normalize the input the way Halide's lowering would have.
+    hir::ExprPtr normalized = hir::simplify(expr);
+
+    if (!opts.use_cache)
+        return synthesize(expr, normalized, opts);
+
+    // The cache keys on the *normalized* expression: syntactically
+    // different inputs that simplify to the same DAG share one entry.
+    SynthCache &cache = synthesis_cache();
+    const uint64_t fp = options_fingerprint(opts);
+    bool owner = false;
+    SynthCache::EntryPtr entry = cache.acquire(normalized, fp, &owner);
+    if (!owner) {
+        std::optional<RakeResult> cached = entry->result;
+        if (cached)
+            cached->cache_hit = true;
+        return cached;
+    }
+
+    // This thread owns the in-flight entry: synthesize and publish,
+    // even when synthesis throws (publish a failure so waiters do not
+    // block forever; the exception still propagates).
+    std::optional<RakeResult> result;
+    try {
+        result = synthesize(expr, normalized, opts);
+    } catch (...) {
+        cache.publish(entry, std::nullopt);
+        throw;
+    }
+    cache.publish(entry, result);
     return result;
 }
 

@@ -25,6 +25,7 @@ struct RakeOptions {
     VerifierOptions verifier;
     bool z3_prove = false;  ///< final SMT proof of the selected code
     uint64_t seed = 1;      ///< example-pool seed
+    bool use_cache = true;  ///< consult the cross-expression cache
 };
 
 /** Everything a Rake run produces. */
@@ -34,6 +35,14 @@ struct RakeResult {
     LiftStats lift;             ///< Table 1: lifting columns
     LowerStats lower;           ///< Table 1: sketch + swizzle columns
     ProofResult proof = ProofResult::Unknown; ///< z3 outcome if asked
+
+    /**
+     * True when this result was answered from the cross-expression
+     * synthesis cache. The stage statistics above are then those of
+     * the original (deterministic) synthesis, so Table 1 aggregates
+     * stay bit-identical whether or not a run was cached.
+     */
+    bool cache_hit = false;
 };
 
 /**

@@ -49,7 +49,8 @@ fill_buffer(Buffer &buf, int pattern, Rng &rng)
           case 4: // ramp with sign flips
             v = (static_cast<int64_t>(i) - 7) * 3;
             break;
-          default: // seeded random over the full type range
+          default: // >= ExamplePool::kCornerExamples: seeded random
+                 // over the full type range
             v = rng.range(min_value(t), max_value(t));
             break;
         }

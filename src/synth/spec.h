@@ -69,6 +69,13 @@ std::map<int, BufferGeometry> buffer_geometry(const Spec &spec);
 class ExamplePool
 {
   public:
+    /**
+     * Environments at indices below this are deterministic corner
+     * patterns (zeros/small, maxima, minima, alternation, ramp);
+     * every later index is seeded-random.
+     */
+    static constexpr int kCornerExamples = 5;
+
     ExamplePool(const Spec &spec, uint64_t seed = 1);
 
     /** The example at index i, generating more if needed. */

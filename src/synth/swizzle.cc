@@ -1,5 +1,6 @@
 #include "synth/swizzle.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "support/error.h"
@@ -104,7 +105,7 @@ SwizzleSolver::search(const Arrangement &arr, ScalarType elem,
         const Result &r = it->second;
         if (r.instr && r.cost <= budget)
             return std::make_pair(r.instr, r.cost);
-        if (!r.instr && r.tried_budget >= budget)
+        if (r.failed_budget >= budget)
             return std::nullopt;
     }
     if (!active_.insert(key).second)
@@ -167,8 +168,19 @@ SwizzleSolver::search(const Arrangement &arr, ScalarType elem,
         }
     }
 
+    // Merge into the memo without discarding what is already known:
+    // keep the cheapest program ever found, and separately the
+    // highest budget that failed.
+    auto remember_solved = [&]() {
+        Result &r = memo_[key];
+        if (!r.instr || best->second < r.cost) {
+            r.instr = best->first;
+            r.cost = best->second;
+        }
+    };
+
     if (best && best->second == 0) {
-        memo_[key] = Result{best->first, best->second, budget};
+        remember_solved();
         return best;
     }
 
@@ -242,10 +254,11 @@ SwizzleSolver::search(const Arrangement &arr, ScalarType elem,
     }
 
     if (best) {
-        memo_[key] = Result{best->first, best->second, budget};
+        remember_solved();
         return best;
     }
-    memo_[key] = Result{nullptr, 0, budget};
+    Result &r = memo_[key];
+    r.failed_budget = std::max(r.failed_budget, budget);
     return std::nullopt;
 }
 

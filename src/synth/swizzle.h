@@ -47,10 +47,18 @@ class SwizzleSolver
     hvx::InstrPtr solve(const Hole &hole, int budget);
 
   private:
+    /**
+     * Memo entry for one goal. A positive result (instr + cost) and
+     * the highest budget a search came up empty at are tracked in
+     * separate fields: backtracking re-queries the same goal at a
+     * *tighter* budget (Algorithm 2 shrinks beta), and that failure
+     * must not clobber a solution already found at a looser budget —
+     * later higher-budget queries still want it.
+     */
     struct Result {
-        hvx::InstrPtr instr; ///< null = infeasible at explored budget
-        int cost = 0;        ///< instructions used (when feasible)
-        int tried_budget = 0;///< largest budget explored (when infeasible)
+        hvx::InstrPtr instr;   ///< best known program (null = none yet)
+        int cost = 0;          ///< its instruction count (when found)
+        int failed_budget = -1;///< highest budget proven infeasible
     };
 
     /**

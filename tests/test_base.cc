@@ -5,6 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "base/arith.h"
 #include "base/type.h"
 #include "base/value.h"
@@ -147,6 +149,50 @@ TEST(Arith, ShiftEdgeAmounts)
     EXPECT_EQ(logical_shift_right(ScalarType::UInt16,
                                   wrap(ScalarType::UInt16, 0xFFFF), 8),
               0xFF);
+}
+
+TEST(Arith, ShiftRightRoundingAtInt64Extremes)
+{
+    // Regression (UBSan-visible): the rounding add used to be done in
+    // int64_t, so carriers near INT64_MAX — reachable through
+    // widening-multiply accumulators — hit signed-overflow UB. The
+    // add now wraps in uint64_t, matching machine semantics.
+    const int64_t max = std::numeric_limits<int64_t>::max();
+    const int64_t min = std::numeric_limits<int64_t>::min();
+    // max + 1 wraps to min; min >> 1 == -(2^62).
+    EXPECT_EQ(shift_right(max, 1, true), min >> 1);
+    // A wide rounding bias: max + 2^61 wraps negative.
+    EXPECT_EQ(shift_right(max, 62, true),
+              static_cast<int64_t>(static_cast<uint64_t>(max) +
+                                   (uint64_t{1} << 61)) >>
+                  62);
+    // Sane values are unaffected by the carrier change.
+    EXPECT_EQ(shift_right(max - 1, 1, false), (max - 1) >> 1);
+    EXPECT_EQ(shift_right(min, 3, true), (min + 4) >> 3);
+}
+
+TEST(Arith, AverageAtInt64Extremes)
+{
+    // Same UB pattern as shift_right: a + b (+1) must not overflow
+    // the signed carrier for extreme int64 inputs.
+    const int64_t max = std::numeric_limits<int64_t>::max();
+    const int64_t min = std::numeric_limits<int64_t>::min();
+    EXPECT_EQ(average(ScalarType::Int64, max, max, true),
+              wrap(ScalarType::Int64,
+                   static_cast<int64_t>(static_cast<uint64_t>(max) +
+                                        static_cast<uint64_t>(max) + 1) >>
+                       1));
+    EXPECT_EQ(average(ScalarType::Int64, max, 1, false), min >> 1);
+    EXPECT_EQ(neg_average(ScalarType::Int64, max, min, false),
+              wrap(ScalarType::Int64,
+                   static_cast<int64_t>(static_cast<uint64_t>(max) -
+                                        static_cast<uint64_t>(min)) >>
+                       1));
+    EXPECT_EQ(neg_average(ScalarType::Int64, min, 1, true),
+              wrap(ScalarType::Int64,
+                   static_cast<int64_t>(static_cast<uint64_t>(min) - 1 +
+                                        1) >>
+                       1));
 }
 
 TEST(Arith, AverageNeverOverflows)

@@ -11,6 +11,7 @@
 #include "hir/builder.h"
 #include "pipeline/benchmarks.h"
 #include "pipeline/report.h"
+#include "synth/cache.h"
 
 namespace rake {
 namespace {
@@ -125,6 +126,91 @@ TEST(Pipeline, ValidationCatchesWrongCode)
     hvx::InstrPtr right =
         baseline::select_instructions(a.ptr(), target);
     EXPECT_NO_THROW(validate_against_reference(a.ptr(), right, 4, 9));
+}
+
+TEST(Pipeline, ParallelCompileIsDeterministic)
+{
+    // The acceptance bar for the parallel driver: per-stage statistics
+    // and the selected instruction DAGs must be bit-identical no
+    // matter how many workers compiled the expressions. Skip
+    // validation so the test stays fast; determinism of the synthesis
+    // itself is what is under test.
+    for (const char *name : {"add", "mean"}) {
+        CompileOptions opts;
+        opts.validate = false;
+
+        synth::synthesis_cache().clear();
+        opts.jobs = 1;
+        BenchmarkResult seq = compile_benchmark(benchmark(name), opts);
+
+        synth::synthesis_cache().clear();
+        opts.jobs = 4;
+        BenchmarkResult par = compile_benchmark(benchmark(name), opts);
+
+        EXPECT_EQ(seq.baseline_cycles, par.baseline_cycles) << name;
+        EXPECT_EQ(seq.rake_cycles, par.rake_cycles) << name;
+        EXPECT_EQ(seq.lifting_queries, par.lifting_queries) << name;
+        EXPECT_EQ(seq.sketch_queries, par.sketch_queries) << name;
+        EXPECT_EQ(seq.swizzle_queries, par.swizzle_queries) << name;
+        EXPECT_EQ(seq.optimized_exprs, par.optimized_exprs) << name;
+        EXPECT_EQ(seq.cache_hits, par.cache_hits) << name;
+        EXPECT_EQ(seq.cache_misses, par.cache_misses) << name;
+        ASSERT_EQ(seq.exprs.size(), par.exprs.size()) << name;
+        for (size_t i = 0; i < seq.exprs.size(); ++i) {
+            EXPECT_TRUE(hvx::equal(seq.exprs[i].baseline,
+                                   par.exprs[i].baseline))
+                << name << " expr " << i;
+            EXPECT_TRUE(
+                hvx::equal(seq.exprs[i].rake, par.exprs[i].rake))
+                << name << " expr " << i;
+        }
+    }
+}
+
+TEST(Pipeline, SynthesisCacheHitsOnRecompile)
+{
+    synth::synthesis_cache().clear();
+    CompileOptions opts;
+    opts.validate = false;
+
+    BenchmarkResult first = compile_benchmark(benchmark("add"), opts);
+    EXPECT_EQ(first.cache_hits, 0);
+    EXPECT_GT(first.cache_misses, 0);
+
+    BenchmarkResult second = compile_benchmark(benchmark("add"), opts);
+    EXPECT_GT(second.cache_hits, 0);
+    EXPECT_EQ(second.cache_misses, 0);
+    EXPECT_EQ(first.rake_cycles, second.rake_cycles);
+    // Cached results re-report the original run's synthesis stats so
+    // Table 1 aggregates stay identical across runs.
+    EXPECT_EQ(first.sketch_queries, second.sketch_queries);
+    EXPECT_EQ(first.swizzle_queries, second.swizzle_queries);
+    ASSERT_EQ(first.exprs.size(), second.exprs.size());
+    for (size_t i = 0; i < first.exprs.size(); ++i)
+        EXPECT_TRUE(
+            hvx::equal(first.exprs[i].rake, second.exprs[i].rake));
+
+    // Different synthesis options must not share cache entries.
+    CompileOptions other = opts;
+    other.rake.lower.swizzle_budget += 1;
+    BenchmarkResult third = compile_benchmark(benchmark("add"), other);
+    EXPECT_GT(third.cache_misses, 0);
+
+    synth::synthesis_cache().clear();
+    EXPECT_EQ(synth::synthesis_cache().stats().entries, 0);
+}
+
+TEST(Pipeline, CacheDisabledNeverHits)
+{
+    synth::synthesis_cache().clear();
+    CompileOptions opts;
+    opts.validate = false;
+    opts.rake.use_cache = false;
+    BenchmarkResult a = compile_benchmark(benchmark("add"), opts);
+    BenchmarkResult b = compile_benchmark(benchmark("add"), opts);
+    EXPECT_EQ(a.cache_hits, 0);
+    EXPECT_EQ(b.cache_hits, 0);
+    EXPECT_EQ(a.rake_cycles, b.rake_cycles);
 }
 
 TEST(Report, TableFormatsAligned)

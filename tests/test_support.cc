@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the support layer: the deterministic RNG (including the
+ * UB-prone extreme-bound spans) and the worker pool the parallel
+ * compilation driver runs on.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace rake {
+namespace {
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool differed = false;
+    for (int i = 0; i < 32; ++i) {
+        const uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        differed |= va != c.next();
+    }
+    EXPECT_TRUE(differed);
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.range(-5, 17);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 17);
+    }
+    // Degenerate span.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.range(3, 3), 3);
+}
+
+TEST(Rng, RangeExtremeBoundsAreDefined)
+{
+    // Regression (UBSan-visible): hi - lo used to be computed in
+    // int64_t, overflowing for spans wider than INT64_MAX.
+    const int64_t min = std::numeric_limits<int64_t>::min();
+    const int64_t max = std::numeric_limits<int64_t>::max();
+    Rng rng(11);
+    bool saw_negative = false, saw_positive = false;
+    for (int i = 0; i < 200; ++i) {
+        const int64_t full = rng.range(min, max);
+        saw_negative |= full < 0;
+        saw_positive |= full > 0;
+    }
+    EXPECT_TRUE(saw_negative);
+    EXPECT_TRUE(saw_positive);
+    for (int i = 0; i < 100; ++i) {
+        const int64_t v = rng.range(min, min + 1);
+        EXPECT_TRUE(v == min || v == min + 1);
+        const int64_t w = rng.range(max - 1, max);
+        EXPECT_TRUE(w == max - 1 || w == max);
+        EXPECT_LE(rng.range(min, 0), 0);
+    }
+}
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i)
+        pool.submit([&sum, i] { sum += i; });
+    pool.wait();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&] { ++count; });
+    pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&completed, i] {
+            if (i == 3)
+                throw std::runtime_error("task failure");
+            ++completed;
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The other tasks still ran to completion.
+    EXPECT_EQ(completed.load(), 7);
+    // The pool is usable again after the failure.
+    pool.submit([&completed] { ++completed; });
+    pool.wait();
+    EXPECT_EQ(completed.load(), 8);
+}
+
+TEST(ParallelFor, CoversEveryIndexAtAnyJobCount)
+{
+    for (int jobs : {1, 2, 4, 9}) {
+        std::vector<std::atomic<int>> hits(23);
+        parallel_for(23, jobs, [&](int i) { ++hits[i]; });
+        for (int i = 0; i < 23; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelFor, RethrowsTaskException)
+{
+    EXPECT_THROW(parallel_for(8, 4,
+                              [](int i) {
+                                  if (i == 5)
+                                      throw std::runtime_error("boom");
+                              }),
+                 std::runtime_error);
+}
+
+TEST(ResolveJobs, ExplicitRequestWinsOverEnv)
+{
+    EXPECT_EQ(resolve_jobs(3), 3);
+    unsetenv("RAKE_JOBS");
+    EXPECT_EQ(resolve_jobs(0), 1);
+    setenv("RAKE_JOBS", "5", 1);
+    EXPECT_EQ(resolve_jobs(0), 5);
+    EXPECT_EQ(resolve_jobs(2), 2);
+    setenv("RAKE_JOBS", "garbage", 1);
+    EXPECT_EQ(resolve_jobs(0), 1);
+    unsetenv("RAKE_JOBS");
+}
+
+} // namespace
+} // namespace rake

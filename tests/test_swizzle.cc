@@ -171,6 +171,37 @@ TEST(Swizzle, MemoKeysIncludeSources)
     EXPECT_EQ(solver.solve(h2, 2), s2);
 }
 
+TEST(Swizzle, TightBudgetRequeryKeepsMemoizedSolution)
+{
+    // Regression: Algorithm 2's backtracking re-queries a solved goal
+    // at a *tighter* budget once a best implementation exists. The
+    // failed re-search used to overwrite the memoized positive entry
+    // with an infeasibility record, so the next higher-budget query
+    // had to redo the whole search (observable as extra candidate
+    // queries) instead of returning the known solution.
+    SwizzleStats stats;
+    hvx::Target target;
+    SwizzleSolver solver(target, stats);
+    Hole h{VecType(u8, 8), deinterleave(window_cells(0, 0, 0, 8)), {}};
+
+    hvx::InstrPtr first = solver.solve(h, 8);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->op(), hvx::Opcode::VDealVdd);
+
+    // Tighter budget than the solution's cost: correctly unsat.
+    EXPECT_EQ(solver.solve(h, 1), nullptr);
+    const int queries_after_tight = stats.queries;
+
+    // Back at the original budget: the memo must still hold the
+    // solution — no new candidate programs may be examined.
+    hvx::InstrPtr again = solver.solve(h, 8);
+    ASSERT_NE(again, nullptr);
+    EXPECT_TRUE(hvx::equal(again, first));
+    EXPECT_EQ(stats.queries, queries_after_tight);
+    EXPECT_EQ(stats.solved, 2);
+    EXPECT_EQ(stats.unsat, 1);
+}
+
 TEST(Swizzle, QueriesAreCounted)
 {
     SwizzleStats stats;
