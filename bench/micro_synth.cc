@@ -1,26 +1,40 @@
 /**
  * @file
- * google-benchmark micro measurements of the synthesis engine:
- * how each stage scales with expression size (§7.2's compilation-
- * performance discussion, measured on this reproduction's engine).
+ * Micro measurements of the synthesis engine: end-to-end synthesis
+ * wall time per expression size, with the per-stage breakdown behind
+ * `--profile` (§7.2's compilation-performance discussion, measured on
+ * this reproduction's engine).
+ *
+ * Every iteration runs the full three-stage synthesis with the
+ * cross-expression cache disabled, so the numbers track the engine's
+ * hot loop rather than cache effectiveness. `--no-dedup` additionally
+ * switches off the observational-equivalence fast path for A/B runs;
+ * `--json PATH` writes the machine-readable results the CI perf smoke
+ * archives.
+ *
+ *   micro_synth [--iters K] [--jobs N] [--json PATH] [--profile]
+ *               [--no-dedup] [case-name]
  */
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <iostream>
 
-#include "baseline/halide_optimizer.h"
 #include "hir/builder.h"
-#include "hir/interp.h"
-#include "hvx/interp.h"
-#include "sim/simulator.h"
-#include "synth/lift.h"
-#include "synth/lower.h"
+#include "pipeline/report.h"
+#include "synth/profile.h"
 #include "synth/rake.h"
-#include "synth/swizzle.h"
-#include "synth/z3_verify.h"
 
 namespace {
 
 using namespace rake;
 using namespace rake::hir;
+
+double
+now_seconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
 
 /** An n-tap row convolution at u16 with binomial-ish weights. */
 ExprPtr
@@ -36,125 +50,115 @@ conv_expr(int taps, int lanes)
     return cast(ScalarType::UInt8, (sum + 8) >> 4).ptr();
 }
 
-void
-BM_hir_interp(benchmark::State &state)
-{
-    ExprPtr e = conv_expr(static_cast<int>(state.range(0)), 128);
-    synth::Spec spec = synth::Spec::from_expr(e);
-    synth::ExamplePool pool(spec, 1);
-    const Env &env = pool.at(5);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(hir::evaluate(e, env));
-}
-BENCHMARK(BM_hir_interp)->Arg(3)->Arg(5)->Arg(9);
-
-void
-BM_lift(benchmark::State &state)
-{
-    ExprPtr e = conv_expr(static_cast<int>(state.range(0)), 128);
-    for (auto _ : state) {
-        synth::Spec spec = synth::Spec::from_expr(e);
-        synth::ExamplePool pool(spec, 1);
-        synth::Verifier verifier(spec, pool);
-        benchmark::DoNotOptimize(synth::lift_to_uir(verifier));
-    }
-}
-BENCHMARK(BM_lift)->Arg(3)->Arg(5)->Arg(9)->Iterations(20)->Unit(
-    benchmark::kMillisecond);
-
-void
-BM_lower(benchmark::State &state)
-{
-    ExprPtr e = conv_expr(static_cast<int>(state.range(0)), 128);
-    synth::Spec spec = synth::Spec::from_expr(e);
-    synth::ExamplePool pool(spec, 1);
-    synth::Verifier verifier(spec, pool);
-    auto lifted = synth::lift_to_uir(verifier);
-    hvx::Target target;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            synth::lower_to_hvx(verifier, lifted.expr, target));
-    }
-}
-BENCHMARK(BM_lower)->Arg(3)->Arg(5)->Arg(9)->Iterations(10)->Unit(
-    benchmark::kMillisecond);
-
-void
-BM_end_to_end(benchmark::State &state)
-{
-    ExprPtr e = conv_expr(static_cast<int>(state.range(0)), 128);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(synth::select_instructions(e));
-}
-BENCHMARK(BM_end_to_end)->Arg(3)->Arg(9)->Iterations(5)->Unit(
-    benchmark::kMillisecond);
-
-void
-BM_baseline_select(benchmark::State &state)
-{
-    ExprPtr e = conv_expr(static_cast<int>(state.range(0)), 128);
-    hvx::Target target;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(
-            baseline::select_instructions(e, target));
-}
-BENCHMARK(BM_baseline_select)->Arg(3)->Arg(9);
-
-void
-BM_swizzle_solver(benchmark::State &state)
-{
-    // Deinterleave goal over one source: the solver must discover
-    // vdealvdd through its permutation rules.
-    const int lanes = static_cast<int>(state.range(0));
-    hvx::Target target;
-    hvx::InstrPtr src = hvx::Instr::make_read(
-        hir::LoadRef{0, 0, 0}, VecType(ScalarType::UInt8, lanes));
-    synth::Arrangement arr =
-        synth::deinterleave(synth::source_cells(0, lanes));
-    synth::Hole hole{VecType(ScalarType::UInt8, lanes), arr, {src}};
-    for (auto _ : state) {
-        synth::SwizzleStats stats;
-        synth::SwizzleSolver solver(target, stats);
-        benchmark::DoNotOptimize(solver.solve(hole, 4));
-    }
-}
-BENCHMARK(BM_swizzle_solver)->Arg(32)->Arg(128);
-
-void
-BM_z3_prove(benchmark::State &state)
-{
-    // z3 proof that a vdmpy-style chain equals its HIR source, on the
-    // incremental lane set.
-    ExprPtr e = conv_expr(3, 32);
-    synth::RakeOptions opts;
-    auto rk = synth::select_instructions(e, opts);
-    if (!rk) {
-        state.SkipWithError("synthesis failed");
-        return;
-    }
-    synth::Spec spec = synth::Spec::from_expr(e);
-    for (auto _ : state) {
-        auto out = synth::z3_check(e, rk->instr, spec);
-        if (out.result != synth::ProofResult::Proved) {
-            state.SkipWithError("proof did not close");
-            return;
-        }
-    }
-}
-BENCHMARK(BM_z3_prove)->Iterations(3)->Unit(benchmark::kMillisecond);
-
-void
-BM_simulator(benchmark::State &state)
-{
-    ExprPtr e = conv_expr(9, 128);
-    hvx::Target target;
-    hvx::InstrPtr code = baseline::select_instructions(e, target);
-    sim::MachineModel machine;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(sim::schedule(code, target, machine));
-}
-BENCHMARK(BM_simulator);
+struct Case {
+    const char *name;
+    int taps;
+};
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    using namespace rake::pipeline;
+
+    const BenchArgs args = parse_bench_args(argc, argv);
+    const int iters = args.iters > 0 ? args.iters : 5;
+    const Case cases[] = {{"conv3", 3}, {"conv5", 5}, {"conv9", 9}};
+
+    synth::RakeOptions opts;
+    opts.use_cache = false; // measure the engine, not the cache
+    opts.verifier.dedup = !args.no_dedup;
+
+    std::cout << "micro_synth: end-to-end synthesis, " << iters
+              << " iteration(s) per case, dedup "
+              << (opts.verifier.dedup ? "on" : "off") << "\n\n";
+
+    Table table({"case", "iters", "mean ms", "min ms", "queries",
+                 "dedup", "refhit", "swz memo"});
+    synth::SynthProfile total_profile;
+    std::string cases_json;
+    double wall_total = 0.0, synth_total = 0.0;
+    const double t0 = now_seconds();
+
+    int matched = 0;
+    for (const Case &c : cases) {
+        if (!args.only.empty() && args.only != c.name)
+            continue;
+        ++matched;
+        const ExprPtr e = conv_expr(c.taps, 128);
+        synth::SynthProfile profile;
+        double sum = 0.0, best = 0.0;
+        for (int k = 0; k < iters; ++k) {
+            const double s0 = now_seconds();
+            auto rk = synth::select_instructions(e, opts);
+            const double dt = now_seconds() - s0;
+            if (!rk) {
+                std::cerr << "micro_synth: synthesis failed on "
+                          << c.name << "\n";
+                return 1;
+            }
+            sum += dt;
+            best = k == 0 ? dt : std::min(best, dt);
+            profile.add(*rk);
+        }
+        const double mean = sum / iters;
+        // Per-run counters: every iteration repeats identical work, so
+        // divide the accumulated counts back down.
+        const int q = profile.total_queries() / iters;
+        const int dd = profile.total_dedup_skips() / iters;
+        const int rh = profile.total_ref_cache_hits() / iters;
+        const int sm = profile.swizzle.memo_hits / iters;
+        table.add_row({c.name, std::to_string(iters), fmt(mean * 1e3),
+                       fmt(best * 1e3), std::to_string(q),
+                       std::to_string(dd), std::to_string(rh),
+                       std::to_string(sm)});
+        if (args.profile) {
+            std::cout << "--- " << c.name << "\n"
+                      << profile.to_string() << "\n";
+        }
+        Json cj;
+        cj.put("name", std::string(c.name))
+            .put("iters", iters)
+            .put("mean_seconds", mean)
+            .put("min_seconds", best)
+            .put("queries", q)
+            .put("dedup_skips", dd)
+            .put("ref_cache_hits", rh)
+            .put("swizzle_memo_hits", sm);
+        if (!cases_json.empty())
+            cases_json += ",";
+        cases_json += cj.to_string();
+        total_profile.merge(profile);
+        synth_total += sum;
+    }
+    wall_total = now_seconds() - t0;
+
+    if (matched == 0) {
+        std::cerr << "micro_synth: no case named '" << args.only
+                  << "' (cases: conv3 conv5 conv9)\n";
+        return 1;
+    }
+
+    std::cout << table.to_string();
+    if (args.profile)
+        std::cout << "\n--- all cases\n" << total_profile.to_string();
+
+    if (!args.json.empty()) {
+        Json j;
+        j.put("driver", std::string("micro_synth"))
+            .put("iters", iters)
+            .put("dedup", static_cast<int64_t>(opts.verifier.dedup))
+            .put("wall_seconds", wall_total)
+            .put("total_seconds", synth_total)
+            .put("queries", total_profile.total_queries())
+            .put("dedup_skips", total_profile.total_dedup_skips())
+            .put("ref_cache_hits", total_profile.total_ref_cache_hits())
+            .put("swizzle_memo_hits", total_profile.swizzle.memo_hits)
+            .put("cache_hits", total_profile.cache_hits)
+            .put_raw("cases", "[" + cases_json + "]");
+        write_text_file(args.json, j.to_string() + "\n");
+        std::cout << "\nwrote " << args.json << "\n";
+    }
+    return 0;
+}

@@ -32,6 +32,7 @@ main(int argc, char **argv)
     CompileOptions opts;
     opts.validate = false; // Table 1 measures synthesis effort only
     opts.jobs = args.jobs;
+    opts.rake.verifier.dedup = !args.no_dedup;
 
     std::cout << "Table 1: compilation statistics (per benchmark, "
               << resolve_jobs(opts.jobs) << " job(s))\n\n";
@@ -43,6 +44,8 @@ main(int argc, char **argv)
     double lift_s = 0, sketch_s = 0, swizzle_s = 0, total_s = 0,
            wall_s = 0;
     int exprs = 0;
+    synth::SynthProfile profile;
+    std::string bench_json;
     for (const Benchmark &b : benchmark_suite()) {
         if (!args.only.empty() && b.name != args.only)
             continue;
@@ -66,6 +69,25 @@ main(int argc, char **argv)
         total_s += r.total_seconds;
         wall_s += r.wall_seconds;
         exprs += r.optimized_exprs;
+        profile.merge(r.profile);
+        Json bj;
+        bj.put("name", r.name)
+            .put("exprs", r.optimized_exprs)
+            .put("total_seconds", r.total_seconds)
+            .put("wall_seconds", r.wall_seconds)
+            .put("lift_queries", static_cast<int64_t>(r.lifting_queries))
+            .put("sketch_queries",
+                 static_cast<int64_t>(r.sketch_queries))
+            .put("swizzle_queries",
+                 static_cast<int64_t>(r.swizzle_queries))
+            .put("dedup_skips", r.dedup_skips)
+            .put("ref_cache_hits", r.ref_cache_hits)
+            .put("swizzle_memo_hits", r.swizzle_memo_hits)
+            .put("cache_hits", r.cache_hits)
+            .put("cache_misses", r.cache_misses);
+        if (!bench_json.empty())
+            bench_json += ",";
+        bench_json += bj.to_string();
     }
     table.add_row({"(total)", std::to_string(exprs),
                    std::to_string(lift_q), std::to_string(sketch_q),
@@ -79,6 +101,29 @@ main(int argc, char **argv)
               << cache.misses << " misses, " << cache.entries
               << " entries (repeated expressions are synthesized "
                  "once and reuse the original run's statistics)\n";
+
+    if (args.profile)
+        std::cout << "\n" << profile.to_string();
+
+    if (!args.json.empty()) {
+        Json j;
+        j.put("driver", std::string("table1_compile_stats"))
+            .put("jobs", resolve_jobs(opts.jobs))
+            .put("dedup",
+                 static_cast<int64_t>(opts.rake.verifier.dedup))
+            .put("wall_seconds", wall_s)
+            .put("total_seconds", total_s)
+            .put("queries",
+                 static_cast<int64_t>(lift_q + sketch_q + swizzle_q))
+            .put("dedup_skips", profile.total_dedup_skips())
+            .put("ref_cache_hits", profile.total_ref_cache_hits())
+            .put("swizzle_memo_hits", profile.swizzle.memo_hits)
+            .put("cache_hits", cache.hits)
+            .put("cache_misses", cache.misses)
+            .put_raw("benchmarks", "[" + bench_json + "]");
+        write_text_file(args.json, j.to_string() + "\n");
+        std::cout << "wrote " << args.json << "\n";
+    }
 
     std::cout << "paper: mean compile 62 min/benchmark on z3 "
                  "(lifting 9%, sketches 21%, swizzles 70% of time); "

@@ -7,12 +7,12 @@
 #define RAKE_BASE_VALUE_H
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "base/arith.h"
 #include "base/type.h"
+#include "support/flat_map.h"
 
 namespace rake {
 
@@ -59,6 +59,19 @@ struct Value {
 
     int64_t operator[](int i) const { return lanes[i]; }
     int64_t &operator[](int i) { return lanes[i]; }
+
+    /**
+     * Re-type this value in place, reusing the lane vector's capacity
+     * (the interpreters' scratch slots are recycled across
+     * evaluations; see DESIGN.md "The equivalence-checking fast
+     * path"). All lanes are reset to zero.
+     */
+    void
+    reset(VecType t)
+    {
+        type = t;
+        lanes.assign(static_cast<size_t>(t.lanes), 0);
+    }
 
     /** The single lane of a scalar value. */
     int64_t
@@ -138,8 +151,11 @@ struct Buffer {
  * evaluated (the loop indices of the innermost vectorized loop).
  */
 struct Env {
-    std::map<int, Buffer> buffers;
-    std::map<std::string, int64_t> scalars;
+    // Sorted-vector maps: Env lookups are the innermost operation of
+    // every synthesis query, and these hold only a handful of
+    // entries. Iteration order matches std::map (ascending by key).
+    FlatMap<int, Buffer> buffers;
+    FlatMap<std::string, int64_t> scalars;
     int x = 0;
     int y = 0;
 

@@ -5,63 +5,87 @@
 
 namespace rake::hir {
 
-Value
-Interpreter::eval(const ExprPtr &e)
+Value &
+Interpreter::slot(VecType t)
 {
-    RAKE_CHECK(e != nullptr, "eval of null expression");
-    auto it = memo_.find(e.get());
-    if (it != memo_.end())
-        return it->second;
-    Value v = eval_impl(*e);
-    memo_.emplace(e.get(), v);
+    if (used_ == slots_.size())
+        slots_.emplace_back();
+    Value &v = slots_[used_++];
+    v.reset(t);
     return v;
 }
 
-Value
+const Value &
+Interpreter::eval(const ExprPtr &e)
+{
+    RAKE_CHECK(e != nullptr, "eval of null expression");
+    RAKE_CHECK(env_ != nullptr, "eval before reset()");
+    auto it = memo_.find(e.get());
+    if (it != memo_.end())
+        return *it->second;
+    const Value &v = eval_impl(*e);
+    memo_.emplace(e.get(), &v);
+    return v;
+}
+
+const Value &
 Interpreter::eval_impl(const Expr &e)
 {
     const VecType t = e.type();
     const ScalarType s = t.elem;
+    const Env &env = *env_;
 
     switch (e.op()) {
       case Op::Load: {
         const LoadRef &r = e.load_ref();
-        const Buffer &buf = env_.buffer(r.buffer);
+        const Buffer &buf = env.buffer(r.buffer);
         RAKE_CHECK(buf.elem == s, "load type " << to_string(s)
                                                << " != buffer elem "
                                                << to_string(buf.elem));
-        Value v = Value::zero(t);
+        Value &v = slot(t);
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = wrap(s, buf.at(env_.x + r.dx + i, env_.y + r.dy));
+            v[i] = wrap(s, buf.at(env.x + r.dx + i, env.y + r.dy));
         return v;
       }
-      case Op::Const:
-        return Value::splat(s, t.lanes, e.const_value());
-      case Op::Var:
-        return Value::scalar(s, env_.scalar(e.var_name()));
+      case Op::Const: {
+        Value &v = slot(t);
+        const int64_t c = wrap(s, e.const_value());
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = c;
+        return v;
+      }
+      case Op::Var: {
+        Value &v = slot(t);
+        v[0] = wrap(s, env.scalar(e.var_name()));
+        return v;
+      }
       case Op::Broadcast: {
-        Value a = eval(e.arg(0));
-        return Value::splat(s, t.lanes, a.as_scalar());
+        const int64_t x = eval(e.arg(0)).as_scalar();
+        Value &v = slot(t);
+        const int64_t c = wrap(s, x);
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = c;
+        return v;
       }
       case Op::Cast: {
-        Value a = eval(e.arg(0));
-        Value v = Value::zero(t);
+        const Value &a = eval(e.arg(0));
+        Value &v = slot(t);
         for (int i = 0; i < t.lanes; ++i)
             v[i] = wrap(s, a[i]);
         return v;
       }
       case Op::Not: {
-        Value a = eval(e.arg(0));
-        Value v = Value::zero(t);
+        const Value &a = eval(e.arg(0));
+        Value &v = slot(t);
         for (int i = 0; i < t.lanes; ++i)
             v[i] = wrap(s, ~a[i]);
         return v;
       }
       case Op::Select: {
-        Value c = eval(e.arg(0));
-        Value a = eval(e.arg(1));
-        Value b = eval(e.arg(2));
-        Value v = Value::zero(t);
+        const Value &c = eval(e.arg(0));
+        const Value &a = eval(e.arg(1));
+        const Value &b = eval(e.arg(2));
+        Value &v = slot(t);
         for (int i = 0; i < t.lanes; ++i)
             v[i] = c[i] != 0 ? a[i] : b[i];
         return v;
@@ -71,10 +95,9 @@ Interpreter::eval_impl(const Expr &e)
     }
 
     // Remaining ops are lane-wise binaries.
-    Value a = eval(e.arg(0));
-    Value b = eval(e.arg(1));
-    Value v = Value::zero(t);
-    const ScalarType os = e.arg(0)->type().elem; // operand elem type
+    const Value &a = eval(e.arg(0));
+    const Value &b = eval(e.arg(1));
+    Value &v = slot(t);
     for (int i = 0; i < t.lanes; ++i) {
         const int64_t x = a[i];
         const int64_t y = b[i];
@@ -127,7 +150,6 @@ Interpreter::eval_impl(const Expr &e)
           default:
             RAKE_UNREACHABLE("unhandled binary op " << to_string(e.op()));
         }
-        (void)os;
         v[i] = r;
     }
     return v;

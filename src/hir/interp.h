@@ -9,6 +9,7 @@
 #ifndef RAKE_HIR_INTERP_H
 #define RAKE_HIR_INTERP_H
 
+#include <deque>
 #include <unordered_map>
 
 #include "base/value.h"
@@ -20,21 +21,44 @@ namespace rake::hir {
  * Evaluate an HIR expression under an environment.
  *
  * Shared sub-DAGs are evaluated once per call (memoized on node
- * identity).
+ * identity). The interpreter is a reusable evaluation context:
+ * results live in scratch slots owned by the interpreter, so a
+ * long-lived instance reset() per environment performs no per-node
+ * allocation in steady state (the CEGIS hot path evaluates the same
+ * expressions on tens of thousands of environments).
  */
 class Interpreter
 {
   public:
-    explicit Interpreter(const Env &env) : env_(env) {}
+    Interpreter() = default;
+    explicit Interpreter(const Env &env) : env_(&env) {}
 
-    /** Evaluate `e`; lane values are normalized to e->type().elem. */
-    Value eval(const ExprPtr &e);
+    /** Rebind to a new environment, recycling the scratch slots. */
+    void
+    reset(const Env &env)
+    {
+        env_ = &env;
+        memo_.clear();
+        used_ = 0;
+    }
+
+    /**
+     * Evaluate `e`; lane values are normalized to e->type().elem.
+     * The returned reference is owned by the interpreter and is valid
+     * until the next reset().
+     */
+    const Value &eval(const ExprPtr &e);
 
   private:
-    Value eval_impl(const Expr &e);
+    const Value &eval_impl(const Expr &e);
 
-    const Env &env_;
-    std::unordered_map<const Expr *, Value> memo_;
+    /** A recycled output slot typed and zeroed for this node. */
+    Value &slot(VecType t);
+
+    const Env *env_ = nullptr;
+    std::unordered_map<const Expr *, const Value *> memo_;
+    std::deque<Value> slots_; ///< deque: stable addresses across growth
+    size_t used_ = 0;
 };
 
 /** One-shot convenience wrapper around Interpreter. */

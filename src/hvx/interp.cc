@@ -1,7 +1,6 @@
 #include "hvx/interp.h"
 
 #include "base/arith.h"
-#include "hir/interp.h"
 #include "support/error.h"
 
 namespace rake::hvx {
@@ -32,58 +31,83 @@ bitcast(const Value &v, ScalarType out_elem)
     return r;
 }
 
-Value
+Value &
+Interpreter::slot(VecType t)
+{
+    if (used_ == slots_.size())
+        slots_.emplace_back();
+    Value &v = slots_[used_++];
+    v.reset(t);
+    return v;
+}
+
+const Value &
 Interpreter::eval(const InstrPtr &n)
 {
     RAKE_CHECK(n != nullptr, "eval of null instruction");
+    RAKE_CHECK(env_ != nullptr, "eval before reset()");
     auto it = memo_.find(n.get());
     if (it != memo_.end())
-        return it->second;
-    Value v = eval_impl(*n);
+        return *it->second;
+    const Value &v = eval_impl(*n);
     RAKE_CHECK(v.type == n->type(), "interpreter produced "
                                         << to_string(v.type) << " for "
                                         << to_string(n->op()) << " typed "
                                         << to_string(n->type()));
-    memo_.emplace(n.get(), v);
+    memo_.emplace(n.get(), &v);
     return v;
 }
 
-Value
+const Value &
 Interpreter::eval_impl(const Instr &n)
 {
     const VecType t = n.type();
     const ScalarType s = t.elem;
+    const Env &env = *env_;
 
     switch (n.op()) {
       case Opcode::VRead: {
         const hir::LoadRef &r = n.load_ref();
-        const Buffer &buf = env_.buffer(r.buffer);
+        const Buffer &buf = env.buffer(r.buffer);
         RAKE_CHECK(buf.elem == s, "vmem elem type mismatch");
-        Value v = Value::zero(t);
+        Value &v = slot(t);
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = wrap(s, buf.at(env_.x + r.dx + i, env_.y + r.dy));
+            v[i] = wrap(s, buf.at(env.x + r.dx + i, env.y + r.dy));
         return v;
       }
       case Opcode::VSplat: {
-        const Value sv = hir::evaluate(n.splat_value(), env_);
-        return Value::splat(s, t.lanes, sv.as_scalar());
+        const int64_t x = hir_.eval(n.splat_value()).as_scalar();
+        Value &v = slot(t);
+        const int64_t c = wrap(s, x);
+        for (int i = 0; i < t.lanes; ++i)
+            v[i] = c;
+        return v;
       }
       case Opcode::Hole: {
         RAKE_CHECK(oracle_ != nullptr,
                    "evaluating a sketch hole without an oracle");
-        return oracle_(n.hole_id(), env_);
+        Value hv = oracle_(n.hole_id(), env);
+        Value &v = slot(hv.type);
+        v.lanes = std::move(hv.lanes);
+        return v;
       }
       default:
         break;
     }
 
-    std::vector<Value> a;
-    a.reserve(n.num_args());
+    // Argument view: at most 3 operands, evaluated into interpreter
+    // slots (deque addresses are stable until reset()).
+    struct Args {
+        const Value *p[3];
+        const Value &operator[](int i) const { return *p[i]; }
+    } a{};
+    RAKE_CHECK(n.num_args() <= 3, "instruction with " << n.num_args()
+                                                      << " args");
     for (int i = 0; i < n.num_args(); ++i)
-        a.push_back(eval(n.arg(i)));
+        a.p[i] = &eval(n.arg(i));
     const std::vector<int64_t> &im = n.imms();
 
-    Value v = Value::zero(t);
+    Value &v = slot(t);
     const int L = t.lanes;
 
     // Lane of the element-wise concatenation of the first two args.
@@ -111,8 +135,12 @@ Interpreter::eval_impl(const Instr &n)
     };
 
     switch (n.op()) {
-      case Opcode::VBitcast:
-        return bitcast(a[0], s);
+      case Opcode::VBitcast: {
+        Value bc = bitcast(a[0], s);
+        v.type = bc.type;
+        v.lanes = std::move(bc.lanes);
+        return v;
+      }
       case Opcode::VCombine:
         for (int i = 0; i < L; ++i)
             v[i] = cat(i);

@@ -120,6 +120,7 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
             result.sketch_seconds += rk.lower.sketch.seconds;
             result.swizzle_queries += rk.lower.swizzle.queries;
             result.swizzle_seconds += rk.lower.swizzle.seconds;
+            result.profile.add(rk);
         }
 
         // §7.3 cross-expression layout penalty (see Benchmark):
@@ -138,6 +139,9 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
         result.exprs.push_back(std::move(ec));
     }
     result.wall_seconds = now_seconds() - t0;
+    result.dedup_skips = result.profile.total_dedup_skips();
+    result.ref_cache_hits = result.profile.total_ref_cache_hits();
+    result.swizzle_memo_hits = result.profile.swizzle.memo_hits;
 
     const synth::CacheStats cache_after =
         synth::synthesis_cache().stats();

@@ -20,6 +20,7 @@
 
 #include "baseline/halide_optimizer.h"
 #include "sim/simulator.h"
+#include "synth/profile.h"
 #include "synth/rake.h"
 
 namespace rake::pipeline {
@@ -90,6 +91,14 @@ struct BenchmarkResult {
     // process-wide counters over this benchmark's compilation).
     int64_t cache_hits = 0;
     int64_t cache_misses = 0;
+
+    // Equivalence-checking fast-path effectiveness (see DESIGN.md).
+    int dedup_skips = 0;
+    int ref_cache_hits = 0;
+    int swizzle_memo_hits = 0;
+
+    /** Per-stage/per-rule rollup behind the `--profile` breakdown. */
+    synth::SynthProfile profile;
 };
 
 /** Driver configuration. */

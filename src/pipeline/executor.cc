@@ -40,7 +40,8 @@ env_for(const std::map<int, Image> &inputs,
         buf.data = img.pixels;
         env.buffers.emplace(id, std::move(buf));
     }
-    env.scalars = scalars;
+    for (const auto &[name, v] : scalars)
+        env.scalars.emplace(name, v);
     return env;
 }
 
@@ -63,7 +64,7 @@ run_impl(VecType out_type, const std::map<int, Image> &inputs,
         for (int x = 0; x < primary.width; x += out_type.lanes) {
             env.x = x;
             env.y = y;
-            const Value v = eval(env);
+            const Value &v = eval(env);
             for (int i = 0; i < out_type.lanes; ++i)
                 out.at(x + i, y) = v[i];
         }
@@ -78,9 +79,13 @@ run_tiles(const hvx::InstrPtr &code, const std::map<int, Image> &inputs,
           const std::map<std::string, int64_t> &scalars)
 {
     RAKE_USER_CHECK(code != nullptr, "null code");
+    // One interpreter context for the whole image: tile evaluation
+    // reuses its value slots instead of reallocating per tile.
+    hvx::Interpreter interp;
     return run_impl(code->type(), inputs, scalars,
-                    [&](const Env &env) {
-                        return hvx::evaluate(code, env);
+                    [&](const Env &env) -> const Value & {
+                        interp.reset(env);
+                        return interp.eval(code);
                     });
 }
 
@@ -90,9 +95,11 @@ run_tiles_reference(const hir::ExprPtr &expr,
                     const std::map<std::string, int64_t> &scalars)
 {
     RAKE_USER_CHECK(expr != nullptr, "null expression");
+    hir::Interpreter interp;
     return run_impl(expr->type(), inputs, scalars,
-                    [&](const Env &env) {
-                        return hir::evaluate(expr, env);
+                    [&](const Env &env) -> const Value & {
+                        interp.reset(env);
+                        return interp.eval(expr);
                     });
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
@@ -98,13 +99,130 @@ parse_bench_args(int argc, char **argv)
         } else if (a.rfind("--jobs=", 0) == 0) {
             args.jobs = std::atoi(a.c_str() + 7);
             RAKE_USER_CHECK(args.jobs > 0, "bad job count: " << a);
+        } else if (a == "--iters") {
+            RAKE_USER_CHECK(i + 1 < argc, a << " needs a value");
+            args.iters = std::atoi(argv[++i]);
+            RAKE_USER_CHECK(args.iters > 0,
+                            "bad iteration count: " << argv[i]);
+        } else if (a.rfind("--iters=", 0) == 0) {
+            args.iters = std::atoi(a.c_str() + 8);
+            RAKE_USER_CHECK(args.iters > 0,
+                            "bad iteration count: " << a);
+        } else if (a == "--json") {
+            RAKE_USER_CHECK(i + 1 < argc, a << " needs a path");
+            args.json = argv[++i];
+        } else if (a.rfind("--json=", 0) == 0) {
+            args.json = a.substr(7);
+            RAKE_USER_CHECK(!args.json.empty(), a << " needs a path");
+        } else if (a == "--profile") {
+            args.profile = true;
+        } else if (a == "--no-dedup") {
+            args.no_dedup = true;
         } else {
+            // A typo'd flag must not silently become a benchmark
+            // filter (and then match nothing).
+            RAKE_USER_CHECK(a.rfind("--", 0) != 0,
+                            "unknown flag: " << a);
             RAKE_USER_CHECK(args.only.empty(),
                             "unexpected argument: " << a);
             args.only = a;
         }
     }
     return args;
+}
+
+namespace {
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+json_number(double v)
+{
+    // JSON has no NaN/Inf literals; clamp to null.
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream os;
+    os << std::setprecision(12) << v;
+    return os.str();
+}
+
+} // namespace
+
+Json &
+Json::put(const std::string &key, double v)
+{
+    fields_.emplace_back(key, json_number(v));
+    return *this;
+}
+
+Json &
+Json::put(const std::string &key, int64_t v)
+{
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+}
+
+Json &
+Json::put(const std::string &key, int v)
+{
+    return put(key, static_cast<int64_t>(v));
+}
+
+Json &
+Json::put(const std::string &key, const std::string &v)
+{
+    std::string quoted = "\"";
+    quoted += json_escape(v);
+    quoted += "\"";
+    fields_.emplace_back(key, std::move(quoted));
+    return *this;
+}
+
+Json &
+Json::put_raw(const std::string &key, const std::string &json)
+{
+    fields_.emplace_back(key, json);
+    return *this;
+}
+
+std::string
+Json::to_string() const
+{
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += "\"";
+        out += json_escape(fields_[i].first);
+        out += "\":";
+        out += fields_[i].second;
+    }
+    out += "}";
+    return out;
+}
+
+void
+write_text_file(const std::string &path, const std::string &text)
+{
+    std::ofstream os(path);
+    RAKE_USER_CHECK(os.good(), "cannot open " << path << " for writing");
+    os << text;
+    RAKE_USER_CHECK(os.good(), "failed writing " << path);
 }
 
 } // namespace rake::pipeline

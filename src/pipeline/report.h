@@ -40,16 +40,44 @@ std::string speedup_bar(const BenchmarkResult &r, double max_speedup);
 
 /**
  * Command-line options shared by the bench drivers:
- * `[--jobs N] [benchmark-name]`. jobs = 0 defers to the RAKE_JOBS
- * environment variable (see CompileOptions::jobs).
+ * `[--jobs N] [--json PATH] [--profile] [--no-dedup]
+ * [benchmark-name]`. jobs = 0 defers to the RAKE_JOBS environment
+ * variable (see CompileOptions::jobs).
  */
 struct BenchArgs {
-    int jobs = 0;     ///< --jobs N / --jobs=N
-    std::string only; ///< positional single-benchmark filter
+    int jobs = 0;      ///< --jobs N / --jobs=N
+    int iters = 0;     ///< --iters K (0 = driver default)
+    std::string only;  ///< positional single-benchmark filter
+    std::string json;  ///< --json PATH: machine-readable results
+    bool profile = false;  ///< --profile: synthesis breakdown
+    bool no_dedup = false; ///< --no-dedup: fast-path ablation switch
 };
 
 /** Parse driver flags; throws UserError on malformed input. */
 BenchArgs parse_bench_args(int argc, char **argv);
+
+/**
+ * Minimal JSON object builder for the drivers' --json output (flat
+ * key/value metrics, with put_raw for nested arrays the caller
+ * assembles). No external JSON dependency.
+ */
+class Json
+{
+  public:
+    Json &put(const std::string &key, double v);
+    Json &put(const std::string &key, int64_t v);
+    Json &put(const std::string &key, int v);
+    Json &put(const std::string &key, const std::string &v);
+    Json &put_raw(const std::string &key, const std::string &json);
+
+    std::string to_string() const;
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/** Write `text` to `path`; throws UserError when the file can't open. */
+void write_text_file(const std::string &path, const std::string &text);
 
 } // namespace rake::pipeline
 

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A tiny sorted-vector map for the interpreter hot path.
+ *
+ * Env lookups (buffer by id, scalar by name) sit inside the innermost
+ * loop of every equivalence query. The environments involved hold a
+ * handful of entries, where a node-based std::map pays a pointer
+ * chase and an allocation per element. FlatMap keeps the entries in
+ * one sorted vector: lookups scan contiguous memory and insertion
+ * keeps std::map's iteration order (ascending by key), which the
+ * deterministic example generators rely on.
+ *
+ * Only the std::map subset the codebase uses is provided.
+ */
+#ifndef RAKE_SUPPORT_FLAT_MAP_H
+#define RAKE_SUPPORT_FLAT_MAP_H
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "support/error.h"
+
+namespace rake {
+
+template <typename K, typename V>
+class FlatMap
+{
+  public:
+    using value_type = std::pair<K, V>;
+    using iterator = typename std::vector<value_type>::iterator;
+    using const_iterator =
+        typename std::vector<value_type>::const_iterator;
+
+    iterator begin() { return items_.begin(); }
+    iterator end() { return items_.end(); }
+    const_iterator begin() const { return items_.begin(); }
+    const_iterator end() const { return items_.end(); }
+
+    size_t size() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+    void clear() { items_.clear(); }
+
+    const_iterator
+    find(const K &key) const
+    {
+        // Linear scan: these maps hold a handful of entries, where a
+        // branchy binary search loses to a contiguous sweep.
+        for (auto it = items_.begin(); it != items_.end(); ++it) {
+            if (it->first == key)
+                return it;
+        }
+        return items_.end();
+    }
+
+    iterator
+    find(const K &key)
+    {
+        for (auto it = items_.begin(); it != items_.end(); ++it) {
+            if (it->first == key)
+                return it;
+        }
+        return items_.end();
+    }
+
+    const V &
+    at(const K &key) const
+    {
+        auto it = find(key);
+        RAKE_CHECK(it != items_.end(), "FlatMap::at: missing key");
+        return it->second;
+    }
+
+    V &
+    at(const K &key)
+    {
+        auto it = find(key);
+        RAKE_CHECK(it != items_.end(), "FlatMap::at: missing key");
+        return it->second;
+    }
+
+    /** Insert-or-access, preserving ascending key order. */
+    V &
+    operator[](const K &key)
+    {
+        auto it = lower_bound(key);
+        if (it == items_.end() || !(it->first == key))
+            it = items_.insert(it, value_type(key, V()));
+        return it->second;
+    }
+
+    /** Insert if absent (std::map::emplace semantics). */
+    template <typename... Args>
+    std::pair<iterator, bool>
+    emplace(const K &key, Args &&...args)
+    {
+        auto it = lower_bound(key);
+        if (it != items_.end() && it->first == key)
+            return {it, false};
+        it = items_.insert(it,
+                           value_type(key, V(std::forward<Args>(args)...)));
+        return {it, true};
+    }
+
+  private:
+    iterator
+    lower_bound(const K &key)
+    {
+        return std::lower_bound(
+            items_.begin(), items_.end(), key,
+            [](const value_type &a, const K &b) { return a.first < b; });
+    }
+
+    std::vector<value_type> items_;
+};
+
+} // namespace rake
+
+#endif // RAKE_SUPPORT_FLAT_MAP_H

@@ -24,6 +24,7 @@ options_fingerprint(const RakeOptions &opts)
     h = mix(h, static_cast<uint64_t>(opts.lower.swizzle_budget));
     h = mix(h, static_cast<uint64_t>(opts.verifier.base_examples));
     h = mix(h, static_cast<uint64_t>(opts.verifier.trials));
+    h = mix(h, opts.verifier.dedup ? 1 : 0);
     h = mix(h, opts.z3_prove ? 1 : 0);
     h = mix(h, opts.seed);
     return h;

@@ -106,13 +106,18 @@ class Lifter
     {
         if (!cand || !(cand->type() == e->type()))
             return false;
-        Evaluator ref = [&e](const Env &env) {
-            return hir::evaluate(e, env);
+        // Persistent interpreter contexts: reference outputs are
+        // cached per HIR node, so across the candidate list for one
+        // node the reference runs once per example.
+        EvaluatorRef ref = [this, &e](const Env &env) -> const Value & {
+            href_.reset(env);
+            return href_.eval(e);
         };
-        Evaluator c = [&cand](const Env &env) {
-            return uir::evaluate(cand, env);
+        EvaluatorRef c = [this, &cand](const Env &env) -> const Value & {
+            ucand_.reset(env);
+            return ucand_.eval(cand);
         };
-        return verifier_.check(ref, c, qs);
+        return verifier_.check_ref(RefKey{e.get(), 0}, ref, c, qs);
     }
 
     /** Try a list of candidates under one rule's stats bucket. */
@@ -658,6 +663,8 @@ class Lifter
     Verifier &verifier_;
     LiftStats stats_;
     std::unordered_map<const hir::Expr *, UExprPtr> memo_;
+    hir::Interpreter href_; ///< reference context for accept()
+    uir::Interpreter ucand_;///< candidate context for accept()
 };
 
 } // namespace

@@ -237,6 +237,30 @@ class Lowerer
                         "killed by randomized trials)\n");
     }
 
+    /**
+     * Reference evaluator for (u, layout): the UIR meaning with the
+     * output layout applied, computed in the persistent uref_ context.
+     * The verifier caches its outputs per persistent example under
+     * ref_key(u, layout).
+     */
+    EvaluatorRef
+    layout_ref(const UExprPtr &u, Layout layout)
+    {
+        return [this, &u, layout](const Env &env) -> const Value & {
+            uref_.reset(env);
+            apply_layout_into(uref_.eval(u), layout, layout_scratch_);
+            return layout_scratch_;
+        };
+    }
+
+    static RefKey
+    ref_key(const UExprPtr &u, Layout layout)
+    {
+        // Variants 1/2 keep lowering keys disjoint from the lifting
+        // stage's variant-0 keys on the same node addresses.
+        return RefKey{u.get(), 1 + static_cast<int>(layout)};
+    }
+
     /** Sketch verification with lane-0 pruning (§4.1). */
     bool
     verify_sketch(const UExprPtr &u, Layout layout, const Sketch &sk)
@@ -245,39 +269,46 @@ class Lowerer
             [&sk, &oracle](int id, const Env &env) {
                 return arrangement_value(sk.holes[id], env, oracle);
             };
-        Evaluator cand = [&sk, &oracle](const Env &env) {
-            hvx::Interpreter interp(env, oracle);
-            return interp.eval(sk.root);
+        // The oracle copy inside hcand_ captures locals by reference;
+        // it is only invoked while this frame is live, and the next
+        // verification installs its own oracle.
+        hcand_.set_oracle(oracle);
+        EvaluatorRef cand = [this, &sk](const Env &env) -> const Value & {
+            hcand_.reset(env);
+            return hcand_.eval(sk.root);
         };
-        Evaluator ref = [&u, layout](const Env &env) {
-            return apply_layout(uir::evaluate(u, env), layout);
-        };
+        EvaluatorRef ref = layout_ref(u, layout);
+        const RefKey key = ref_key(u, layout);
 
         if (opts_.lane0_pruning) {
             // Quick check: first output lane on two examples.
             ++stats_.sketch.queries;
             for (int i = 0; i < 2; ++i) {
                 const Env &env = verifier_.pool().at(i);
-                const Value a = ref(env);
-                const Value b = cand(env);
+                const Value &a =
+                    verifier_.ref_output(key, ref, i, stats_.sketch);
+                const Value &b = cand(env);
                 if (!(a.type == b.type) || a[0] != b[0])
                     return false;
             }
         }
-        return verifier_.check(ref, cand, stats_.sketch);
+        return verifier_.check_ref(key, ref, cand, stats_.sketch,
+                                   /*skip_accepted=*/true);
     }
 
     /** Final check of a fully concretized implementation. */
     bool
     check_impl(const UExprPtr &u, Layout layout, const InstrPtr &impl)
     {
-        Evaluator cand = [&impl](const Env &env) {
-            return hvx::evaluate(impl, env);
+        hcand_.set_oracle(nullptr); // concretized: no holes remain
+        EvaluatorRef cand = [this, &impl](const Env &env) -> const Value & {
+            hcand_.reset(env);
+            return hcand_.eval(impl);
         };
-        Evaluator ref = [&u, layout](const Env &env) {
-            return apply_layout(uir::evaluate(u, env), layout);
-        };
-        return verifier_.check(ref, cand, stats_.sketch);
+        return verifier_.check_ref(ref_key(u, layout),
+                                   layout_ref(u, layout), cand,
+                                   stats_.sketch,
+                                   /*skip_accepted=*/true);
     }
 
     // ---------------------------------------------------------------
@@ -1601,6 +1632,9 @@ class Lowerer
     LowerOptions opts_;
     LowerStats stats_;
     SwizzleSolver solver_;
+    uir::Interpreter uref_;  ///< reference context for verification
+    hvx::Interpreter hcand_; ///< candidate context for verification
+    Value layout_scratch_;   ///< reference-after-layout scratch
     std::map<std::pair<const UExpr *, Layout>, std::optional<Impl>>
         memo_;
     std::vector<UExprPtr> pinned_;

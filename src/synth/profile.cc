@@ -1,0 +1,144 @@
+#include "synth/profile.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace rake::synth {
+
+namespace {
+
+void
+accumulate(QueryStats &into, const QueryStats &from)
+{
+    into.queries += from.queries;
+    into.accepted += from.accepted;
+    into.counterexamples += from.counterexamples;
+    into.dedup_skips += from.dedup_skips;
+    into.ref_cache_hits += from.ref_cache_hits;
+    into.seconds += from.seconds;
+}
+
+} // namespace
+
+void
+SynthProfile::add(const RakeResult &r)
+{
+    ++runs;
+    if (r.cache_hit) {
+        // Cached runs carry the original synthesis's statistics for
+        // Table 1, but no time was spent re-deriving them; folding
+        // them in would double-count effort.
+        ++cache_hits;
+        return;
+    }
+    accumulate(lift_update, r.lift.update);
+    accumulate(lift_replace, r.lift.replace);
+    accumulate(lift_extend, r.lift.extend);
+    accumulate(sketch, r.lower.sketch);
+    swizzle.queries += r.lower.swizzle.queries;
+    swizzle.solved += r.lower.swizzle.solved;
+    swizzle.unsat += r.lower.swizzle.unsat;
+    swizzle.memo_hits += r.lower.swizzle.memo_hits;
+    swizzle.seconds += r.lower.swizzle.seconds;
+    backtracks += r.lower.backtracks;
+}
+
+void
+SynthProfile::merge(const SynthProfile &o)
+{
+    accumulate(lift_update, o.lift_update);
+    accumulate(lift_replace, o.lift_replace);
+    accumulate(lift_extend, o.lift_extend);
+    accumulate(sketch, o.sketch);
+    swizzle.queries += o.swizzle.queries;
+    swizzle.solved += o.swizzle.solved;
+    swizzle.unsat += o.swizzle.unsat;
+    swizzle.memo_hits += o.swizzle.memo_hits;
+    swizzle.seconds += o.swizzle.seconds;
+    backtracks += o.backtracks;
+    runs += o.runs;
+    cache_hits += o.cache_hits;
+}
+
+double
+SynthProfile::total_seconds() const
+{
+    return lift_update.seconds + lift_replace.seconds +
+           lift_extend.seconds + sketch.seconds + swizzle.seconds;
+}
+
+int
+SynthProfile::total_queries() const
+{
+    return lift_update.queries + lift_replace.queries +
+           lift_extend.queries + sketch.queries + swizzle.queries;
+}
+
+int
+SynthProfile::total_dedup_skips() const
+{
+    return lift_update.dedup_skips + lift_replace.dedup_skips +
+           lift_extend.dedup_skips + sketch.dedup_skips;
+}
+
+int
+SynthProfile::total_ref_cache_hits() const
+{
+    return lift_update.ref_cache_hits + lift_replace.ref_cache_hits +
+           lift_extend.ref_cache_hits + sketch.ref_cache_hits;
+}
+
+std::string
+SynthProfile::to_string() const
+{
+    const double total = total_seconds();
+    std::ostringstream os;
+    os << std::fixed;
+
+    auto pct = [&](double s) {
+        return total > 0.0 ? 100.0 * s / total : 0.0;
+    };
+    auto row = [&](const char *name, const QueryStats &q) {
+        os << "  " << std::left << std::setw(14) << name << std::right
+           << std::setw(8) << q.queries << std::setw(8) << q.accepted
+           << std::setw(8) << q.counterexamples << std::setw(8)
+           << q.dedup_skips << std::setw(8) << q.ref_cache_hits
+           << std::setw(10) << std::setprecision(3) << q.seconds * 1e3
+           << std::setw(7) << std::setprecision(1) << pct(q.seconds)
+           << "%\n";
+    };
+
+    os << "synthesis profile (" << runs << " runs, " << cache_hits
+       << " from cache)\n";
+    os << "  " << std::left << std::setw(14) << "stage" << std::right
+       << std::setw(8) << "queries" << std::setw(8) << "accept"
+       << std::setw(8) << "ce" << std::setw(8) << "dedup"
+       << std::setw(8) << "refhit" << std::setw(10) << "ms"
+       << std::setw(8) << "share\n";
+    row("lift/update", lift_update);
+    row("lift/replace", lift_replace);
+    row("lift/extend", lift_extend);
+    row("lower/sketch", sketch);
+    os << "  " << std::left << std::setw(14) << "lower/swizzle"
+       << std::right << std::setw(8) << swizzle.queries << std::setw(8)
+       << swizzle.solved << std::setw(8) << swizzle.unsat
+       << std::setw(8) << "-" << std::setw(8) << swizzle.memo_hits
+       << std::setw(10) << std::setprecision(3)
+       << swizzle.seconds * 1e3 << std::setw(7)
+       << std::setprecision(1) << pct(swizzle.seconds) << "%\n";
+
+    const int queries = total_queries();
+    const int dedup = total_dedup_skips();
+    const int refhits = total_ref_cache_hits();
+    os << "  total: " << std::setprecision(3) << total * 1e3 << " ms, "
+       << queries << " queries, " << backtracks << " backtracks\n";
+    os << "  fast path: " << dedup << " dedup skips";
+    if (queries > 0)
+        os << " (" << std::setprecision(1)
+           << 100.0 * dedup / queries << "% of queries)";
+    os << ", " << refhits << " reference-cache hits, "
+       << swizzle.memo_hits << " swizzle memo hits\n";
+    return os.str();
+}
+
+} // namespace rake::synth

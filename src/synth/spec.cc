@@ -154,4 +154,35 @@ ExamplePool::at(int i)
     return envs_[i];
 }
 
+const Env &
+ExamplePool::next_trial()
+{
+    // Trials always draw the seeded-random pattern (>= kCornerExamples)
+    // regardless of pool size, which is what at(size()) resolves to
+    // once the corner prefix is exhausted.
+    if (!scratch_valid_) {
+        scratch_ = make_example_env(geometry_, spec_.vars,
+                                    kCornerExamples, rng_);
+        scratch_valid_ = true;
+        return scratch_;
+    }
+    // Refill in place. Iteration order (ascending buffer id, then
+    // ascending var name) matches make_example_env, so the rng stream
+    // is consumed identically.
+    for (auto &[id, buf] : scratch_.buffers)
+        fill_buffer(buf, kCornerExamples, rng_);
+    for (auto &[name, v] : scratch_.scalars)
+        v = rng_.range(-32768, 32767);
+    return scratch_;
+}
+
+void
+ExamplePool::adopt_trial()
+{
+    RAKE_CHECK(scratch_valid_, "adopt_trial without next_trial");
+    envs_.push_back(std::move(scratch_));
+    scratch_ = Env{};
+    scratch_valid_ = false;
+}
+
 } // namespace rake::synth

@@ -95,14 +95,29 @@ class ExamplePool
         envs_.pop_back();
     }
 
-  private:
-    Env make_env(int index);
-    void fill_buffer(Buffer &buf, int index, int pattern);
+    /**
+     * Generate the next randomized trial environment into a scratch
+     * slot owned by the pool, without growing it. Draws from the same
+     * rng stream as at(size()), so a next_trial()/adopt_trial()
+     * sequence is bit-identical to the old at()/pop() dance but never
+     * copies or reallocates buffers. The reference is valid until the
+     * next next_trial() or adopt_trial() call.
+     */
+    const Env &next_trial();
 
+    /**
+     * Promote the scratch trial from next_trial() into the pool (it
+     * turned out to be a counter-example). Moves, never copies.
+     */
+    void adopt_trial();
+
+  private:
     const Spec &spec_;
     Rng rng_;
     std::vector<Env> envs_;
     std::map<int, BufferGeometry> geometry_;
+    Env scratch_;
+    bool scratch_valid_ = false;
 };
 
 /** Build one environment for a geometry with the given fill pattern. */

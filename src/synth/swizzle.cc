@@ -51,7 +51,65 @@ is_source_half(const Arrangement &a,
     return false;
 }
 
+/**
+ * View-based structural checks: `at(i)` yields cell i of a conceptual
+ * arrangement of size n without materializing it. The rotation rule
+ * probes every rotation of a goal, and building each rotation (plus
+ * its interleave / deinterleave images) just to reject it dominated
+ * the swizzle search; the views make rejection allocation-free.
+ */
+template <typename At>
+bool
+window_view(int n, const At &at)
+{
+    const Cell &c0 = at(0);
+    if (c0.kind != Cell::Kind::Buf)
+        return false;
+    for (int i = 1; i < n; ++i) {
+        const Cell &c = at(i);
+        if (c.kind != Cell::Kind::Buf || c.buffer != c0.buffer ||
+            c.dy != c0.dy || c.x != c0.x + i)
+            return false;
+    }
+    return true;
+}
+
+template <typename At>
+bool
+source_identity_view(int n, const At &at)
+{
+    const Cell &c0 = at(0);
+    if (c0.kind != Cell::Kind::Src || c0.lane != 0)
+        return false;
+    for (int i = 1; i < n; ++i) {
+        const Cell &c = at(i);
+        if (c.kind != Cell::Kind::Src || c.source != c0.source ||
+            c.lane != i)
+            return false;
+    }
+    return true;
+}
+
 } // namespace
+
+size_t
+SwizzleSolver::KeyHash::operator()(const Key &k) const
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t x) { h = (h ^ x) * 1099511628211ull; };
+    for (const Cell &c : std::get<0>(k)) {
+        mix(static_cast<uint64_t>(c.kind));
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(c.buffer)));
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(c.dy)));
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(c.x)));
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(c.source)));
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(c.lane)));
+    }
+    mix(static_cast<uint64_t>(static_cast<int>(std::get<1>(k))));
+    for (const hvx::Instr *p : std::get<2>(k))
+        mix(reinterpret_cast<uintptr_t>(p));
+    return static_cast<size_t>(h);
+}
 
 SwizzleSolver::Key
 SwizzleSolver::key_of(const Arrangement &arr, ScalarType elem,
@@ -103,16 +161,20 @@ SwizzleSolver::search(const Arrangement &arr, ScalarType elem,
     auto it = memo_.find(key);
     if (it != memo_.end()) {
         const Result &r = it->second;
-        if (r.instr && r.cost <= budget)
+        if (r.instr && r.cost <= budget) {
+            ++stats_.memo_hits;
             return std::make_pair(r.instr, r.cost);
-        if (r.failed_budget >= budget)
+        }
+        if (r.failed_budget >= budget) {
+            ++stats_.memo_hits;
             return std::nullopt;
+        }
     }
     if (!active_.insert(key).second)
         return std::nullopt; // already exploring this goal
     struct ActiveGuard {
-        std::set<Key> &set;
-        Key key;
+        std::unordered_set<Key, KeyHash> &set;
+        const Key &key;
         ~ActiveGuard() { set.erase(key); }
     } guard{active_, key};
 
@@ -229,22 +291,33 @@ SwizzleSolver::search(const Arrangement &arr, ScalarType elem,
     // deal/shuffle away from one — recursing on arbitrary rotations
     // would make the search space explode.
     if (budget >= 1) {
-        auto structured = [&](const Arrangement &a) {
-            int b = 0, dy = 0, x0 = 0, source = 0;
-            if (is_window(a, &b, &dy, &x0) ||
-                is_source_identity(a, &source))
-                return true;
-            if (a.size() % 2 == 0) {
-                if (is_window(interleave(a), &b, &dy, &x0) ||
-                    is_window(deinterleave(a), &b, &dy, &x0))
-                    return true;
-            }
-            return false;
-        };
+        const int h = n / 2;
         for (int r = 1; r < n; ++r) {
-            Arrangement unrot = rotate(arr, n - r);
-            if (!structured(unrot))
+            // unrot[i] = rotate(arr, n - r)[i] = arr[(i + n - r) % n].
+            // Structuredness is decided through index views composed
+            // on top of `arr`; the rotation is only materialized for
+            // the (rare) rotations that pass.
+            auto at_unrot = [&arr, n, r](int i) -> const Cell & {
+                return arr[(i + n - r) % n];
+            };
+            // interleave(unrot)[j] reads unrot[j/2] (even j) or
+            // unrot[h + j/2] (odd j); deinterleave(unrot)[j] reads
+            // unrot[2j] (j < h) or unrot[2(j-h)+1].
+            auto at_ileave = [&at_unrot, h](int j) -> const Cell & {
+                return at_unrot(j % 2 == 0 ? j / 2 : h + j / 2);
+            };
+            auto at_deint = [&at_unrot, h](int j) -> const Cell & {
+                return at_unrot(j < h ? 2 * j : 2 * (j - h) + 1);
+            };
+            bool structured =
+                window_view(n, at_unrot) ||
+                source_identity_view(n, at_unrot);
+            if (!structured && n % 2 == 0)
+                structured = window_view(n, at_ileave) ||
+                             window_view(n, at_deint);
+            if (!structured)
                 continue;
+            Arrangement unrot = rotate(arr, n - r);
             if (auto sub = search(unrot, elem, sources, budget - 1)) {
                 consider(hvx::Instr::make(hvx::Opcode::VRor,
                                           {sub->first}, {r}),

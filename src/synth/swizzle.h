@@ -15,7 +15,8 @@
 
 #include <map>
 #include <optional>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "hvx/cost.h"
 #include "synth/symbolic_vector.h"
@@ -27,6 +28,7 @@ struct SwizzleStats {
     int queries = 0;   ///< candidate swizzle programs examined
     int solved = 0;    ///< holes successfully concretized
     int unsat = 0;     ///< holes proven infeasible within budget
+    int memo_hits = 0; ///< goals answered from the memo table
     double seconds = 0.0;
 };
 
@@ -69,6 +71,15 @@ class SwizzleSolver
     using Key = std::tuple<Arrangement, ScalarType,
                            std::vector<const hvx::Instr *>>;
 
+    /**
+     * Cell-wise FNV hash over the full key. Lookups used to go
+     * through std::map, whose lexicographic Cell comparisons were a
+     * measurable slice of synthesis time on deep swizzle searches.
+     */
+    struct KeyHash {
+        size_t operator()(const Key &k) const;
+    };
+
     static Key key_of(const Arrangement &arr, ScalarType elem,
                       const std::vector<hvx::InstrPtr> &sources);
 
@@ -81,8 +92,8 @@ class SwizzleSolver
 
     const hvx::Target &target_;
     SwizzleStats &stats_;
-    std::map<Key, Result> memo_;
-    std::set<Key> active_;
+    std::unordered_map<Key, Result, KeyHash> memo_;
+    std::unordered_set<Key, KeyHash> active_;
     std::map<std::tuple<int, int, int, int, ScalarType>, hvx::InstrPtr>
         reads_;
 };

@@ -24,12 +24,21 @@ layout_source_lane(Layout layout, int lanes, int i)
 Value
 apply_layout(const Value &linear, Layout layout)
 {
-    if (layout == Layout::Linear)
-        return linear;
-    Value v = Value::zero(linear.type);
-    for (int i = 0; i < linear.type.lanes; ++i)
-        v[i] = linear[layout_source_lane(layout, linear.type.lanes, i)];
+    Value v;
+    apply_layout_into(linear, layout, v);
     return v;
+}
+
+void
+apply_layout_into(const Value &linear, Layout layout, Value &out)
+{
+    out.reset(linear.type);
+    if (layout == Layout::Linear) {
+        out.lanes = linear.lanes;
+        return;
+    }
+    for (int i = 0; i < linear.type.lanes; ++i)
+        out[i] = linear[layout_source_lane(layout, linear.type.lanes, i)];
 }
 
 bool
@@ -151,10 +160,11 @@ arrangement_value(const Hole &hole, const Env &env,
 {
     RAKE_CHECK(static_cast<int>(hole.cells.size()) == hole.type.lanes,
                "hole arrangement size mismatch");
-    // Evaluate the sources once for this environment.
+    // Evaluate the sources once for this environment. Pure ??load /
+    // zero holes (the common case) skip the interpreter entirely.
     std::vector<Value> src_values;
-    src_values.reserve(hole.sources.size());
-    {
+    if (!hole.sources.empty()) {
+        src_values.reserve(hole.sources.size());
         hvx::Interpreter interp(env, oracle);
         for (const auto &s : hole.sources)
             src_values.push_back(interp.eval(s));

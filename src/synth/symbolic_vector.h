@@ -43,6 +43,13 @@ std::string to_string(Layout l);
 /** Permute a linear value into the given layout. */
 Value apply_layout(const Value &linear, Layout layout);
 
+/**
+ * Permute a linear value into the given layout, writing into a
+ * caller-owned scratch value (the verification hot path applies the
+ * layout to the reference once per example).
+ */
+void apply_layout_into(const Value &linear, Layout layout, Value &out);
+
 /** Semantic lane index stored at position i of a value in `layout`. */
 int layout_source_lane(Layout layout, int lanes, int i);
 

@@ -2,7 +2,6 @@
 
 #include <chrono>
 
-#include "hir/interp.h"
 #include "support/error.h"
 
 namespace rake::synth {
@@ -17,73 +16,191 @@ now_seconds()
         .count();
 }
 
+// FNV-1a-style 64-bit mixing over candidate outputs. One multiply per
+// lane: this runs inside the corner-example loop and must stay cheap.
+constexpr uint64_t kFingerprintSeed = 1469598103934665603ull;
+constexpr uint64_t kFingerprintPrime = 1099511628211ull;
+
+inline void
+mix(uint64_t &h, uint64_t x)
+{
+    h = (h ^ x) * kFingerprintPrime;
+}
+
+inline void
+mix_value(uint64_t &h, const Value &v)
+{
+    mix(h, static_cast<uint64_t>(static_cast<int>(v.type.elem)));
+    mix(h, static_cast<uint64_t>(v.type.lanes));
+    for (int64_t lane : v.lanes)
+        mix(h, static_cast<uint64_t>(lane));
+}
+
+/** Early-exit lane-by-lane comparison (no temporaries). */
+inline bool
+values_equal(const Value &a, const Value &b)
+{
+    if (!(a.type == b.type))
+        return false;
+    const size_t n = a.lanes.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (a.lanes[i] != b.lanes[i])
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
 Verifier::Verifier(const Spec &spec, ExamplePool &pool, Options opts)
     : spec_(spec), pool_(pool), opts_(opts)
 {
-    ref_ = [expr = spec_.expr](const Env &env) {
-        return hir::evaluate(expr, env);
+    ref_ = [this](const Env &env) -> const Value & {
+        spec_interp_.reset(env);
+        return spec_interp_.eval(spec_.expr);
     };
-}
-
-bool
-Verifier::matches(const Evaluator &ref, const Evaluator &cand,
-                  const Env &env) const
-{
-    const Value expected = ref(env);
-    const Value actual = cand(env);
-    return expected == actual;
 }
 
 bool
 Verifier::equivalent(const Evaluator &cand, QueryStats &stats)
 {
-    return check(ref_, cand, stats);
+    EvaluatorRef c = [&](const Env &env) -> const Value & {
+        cand_scratch_ = cand(env);
+        return cand_scratch_;
+    };
+    // No skip_accepted here: the public predicate must answer yes for
+    // *every* equivalent candidate, not just the first one verified.
+    return check_ref(RefKey{spec_.expr.get(), 0}, ref_, c, stats);
 }
 
 bool
 Verifier::check(const Evaluator &ref, const Evaluator &cand,
                 QueryStats &stats)
 {
+    EvaluatorRef r = [&](const Env &env) -> const Value & {
+        ref_scratch_ = ref(env);
+        return ref_scratch_;
+    };
+    EvaluatorRef c = [&](const Env &env) -> const Value & {
+        cand_scratch_ = cand(env);
+        return cand_scratch_;
+    };
+    // Null key: no reference caching, no dedup — the legacy behavior
+    // arbitrary evaluator pairs get.
+    return check_ref(RefKey{}, r, c, stats);
+}
+
+const Value &
+Verifier::cached_ref(RefState &st, int i, const EvaluatorRef &ref,
+                     const Env &env, QueryStats &stats)
+{
+    if (i < static_cast<int>(st.outputs.size())) {
+        ++stats.ref_cache_hits;
+        return st.outputs[i];
+    }
+    // Persistent examples are visited in index order and the pool
+    // only grows, so the cache extends append-only.
+    RAKE_CHECK(i == static_cast<int>(st.outputs.size()),
+               "reference cache filled out of order");
+    st.outputs.push_back(ref(env));
+    return st.outputs.back();
+}
+
+const Value &
+Verifier::ref_output(const RefKey &key, const EvaluatorRef &ref, int i,
+                     QueryStats &stats)
+{
+    RAKE_CHECK(key.node != nullptr, "ref_output needs a non-null key");
+    return cached_ref(refs_[key], i, ref, pool_.at(i), stats);
+}
+
+uint64_t
+Verifier::corner_fingerprint(const EvaluatorRef &cand)
+{
+    const int corners =
+        std::min(std::max(opts_.base_examples, pool_.size()),
+                 static_cast<int>(ExamplePool::kCornerExamples));
+    uint64_t h = kFingerprintSeed;
+    for (int i = 0; i < corners; ++i)
+        mix_value(h, cand(pool_.at(i)));
+    return h;
+}
+
+bool
+Verifier::check_ref(const RefKey &key, const EvaluatorRef &ref,
+                    const EvaluatorRef &cand, QueryStats &stats,
+                    bool skip_accepted)
+{
     const double t0 = now_seconds();
     ++stats.queries;
+    auto done = [&](bool result) {
+        stats.seconds += now_seconds() - t0;
+        return result;
+    };
+
+    RefState *st = key.node != nullptr ? &refs_[key] : nullptr;
+    const bool dedup = st != nullptr && opts_.dedup;
 
     // Phase 1: persistent examples (corner cases + accumulated
     // counter-examples). Cheap rejection for the vast majority of
-    // wrong candidates.
+    // wrong candidates. The candidate's outputs on the corner prefix
+    // are fingerprinted as a side effect of the comparison loop.
     const int persistent = std::max(opts_.base_examples, pool_.size());
+    const int corners =
+        std::min(persistent,
+                 static_cast<int>(ExamplePool::kCornerExamples));
+    uint64_t h = kFingerprintSeed;
     for (int i = 0; i < persistent; ++i) {
-        if (!matches(ref, cand, pool_.at(i))) {
-            stats.seconds += now_seconds() - t0;
-            return false;
+        const Env &env = pool_.at(i);
+        const Value &actual = cand(env);
+        if (dedup && i < corners) {
+            mix_value(h, actual);
+            if (st->corner_fail.count(h) != 0) {
+                // A previous candidate produced these exact outputs
+                // through this corner and was rejected here; this one
+                // fails identically.
+                ++stats.dedup_skips;
+                return done(false);
+            }
         }
+        const Value &expected =
+            st != nullptr ? cached_ref(*st, i, ref, env, stats)
+                          : ref(env);
+        if (!values_equal(expected, actual)) {
+            if (dedup && i < corners)
+                st->corner_fail.insert(h);
+            return done(false);
+        }
+    }
+
+    // A candidate observationally equal (on every corner example) to
+    // one that already survived the randomized search may skip the
+    // trials — enumeration-only shortcut, requested per call site.
+    if (dedup && skip_accepted && st->accepted.count(h) != 0) {
+        ++stats.dedup_skips;
+        ++stats.accepted;
+        return done(true);
     }
 
     // Phase 2: randomized counter-example search over fresh inputs.
-    // A discovered counter-example joins the persistent pool.
-    const int start = pool_.size();
+    // Trials are generated into the pool's scratch environment (same
+    // rng stream as growing the pool, but allocation-free); a
+    // discovered counter-example is *moved* into the persistent set.
     for (int t = 0; t < opts_.trials; ++t) {
-        const Env &env = pool_.at(start + t);
-        if (!matches(ref, cand, env)) {
-            // Keep only this new counter-example; drop the other
-            // fresh environments so the persistent set stays small.
-            Env ce = env;
-            while (pool_.size() > start)
-                pool_.pop();
-            pool_.add(std::move(ce));
+        const Env &env = pool_.next_trial();
+        const Value &actual = cand(env);
+        const Value &expected = ref(env);
+        if (!values_equal(expected, actual)) {
+            pool_.adopt_trial();
             ++stats.counterexamples;
-            stats.seconds += now_seconds() - t0;
-            return false;
+            return done(false);
         }
     }
-    // Candidate survived; shrink the pool back to the persistent set.
-    while (pool_.size() > start)
-        pool_.pop();
 
+    if (dedup)
+        st->accepted.insert(h);
     ++stats.accepted;
-    stats.seconds += now_seconds() - t0;
-    return true;
+    return done(true);
 }
 
 } // namespace rake::synth

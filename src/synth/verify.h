@@ -10,25 +10,54 @@
  * accepted twice — exactly the inductive-synthesis loop, with the
  * SMT oracle replaced by dense concrete testing plus the optional z3
  * proof backend in synth/z3_verify.h.
+ *
+ * This is the synthesizer's innermost loop, so it carries two
+ * memoization layers (see DESIGN.md "The equivalence-checking fast
+ * path"):
+ *
+ *  - Reference outputs are cached per (RefKey, persistent example
+ *    index): the spec side of a query is interpreted once per
+ *    example, not once per candidate.
+ *  - Candidates are fingerprinted by hashing their outputs on the
+ *    corner examples. A candidate that reproduces a previously
+ *    rejected candidate's outputs through its failing corner is
+ *    rejected without re-comparing; a candidate that reproduces a
+ *    previously *verified* candidate's corner outputs may skip the
+ *    randomized trials (opt-in per call site). Fingerprints only
+ *    short-circuit enumeration — they never substitute for the
+ *    persistent-example comparison.
  */
 #ifndef RAKE_SYNTH_VERIFY_H
 #define RAKE_SYNTH_VERIFY_H
 
 #include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "base/value.h"
+#include "hir/interp.h"
 #include "synth/spec.h"
 
 namespace rake::synth {
 
-/** Evaluation closure over an environment. */
+/** Evaluation closure over an environment (owning result). */
 using Evaluator = std::function<Value(const Env &)>;
+
+/**
+ * Evaluation closure returning a reference into caller-owned scratch
+ * storage (a reusable interpreter context). The reference only needs
+ * to stay valid until the next invocation of the same closure.
+ */
+using EvaluatorRef = std::function<const Value &(const Env &)>;
 
 /** Counters reported per synthesis stage (Table 1). */
 struct QueryStats {
     int queries = 0;        ///< equivalence queries issued
     int accepted = 0;       ///< queries that verified
     int counterexamples = 0;///< candidates killed by the random search
+    int dedup_skips = 0;    ///< queries short-circuited by fingerprints
+    int ref_cache_hits = 0; ///< reference outputs served from cache
     double seconds = 0.0;   ///< wall-clock time spent checking
 };
 
@@ -36,6 +65,30 @@ struct QueryStats {
 struct VerifierOptions {
     int base_examples = 6; ///< corner+random examples always checked
     int trials = 40;       ///< fresh random inputs per verification
+    bool dedup = true;     ///< observational-equivalence dedup on/off
+};
+
+/**
+ * Identity of a reference expression across queries. The verifier
+ * keys its reference-output cache and dedup fingerprint sets on this;
+ * a default-constructed (null) key disables both, giving the legacy
+ * uncached behavior.
+ *
+ * `node` is the address of the spec-side IR node; `variant`
+ * distinguishes different reference semantics hung off the same node
+ * (e.g. the output layout applied after evaluation in lowering). The
+ * caller must keep the node alive for the verifier's lifetime — the
+ * synthesis stages already pin their IR for exactly this reason.
+ */
+struct RefKey {
+    const void *node = nullptr;
+    int variant = 0;
+
+    bool
+    operator==(const RefKey &o) const
+    {
+        return node == o.node && variant == o.variant;
+    }
 };
 
 /** CEGIS-style equivalence checker for one spec. */
@@ -47,6 +100,9 @@ class Verifier
     Verifier(const Spec &spec, ExamplePool &pool,
              Options opts = VerifierOptions());
 
+    Verifier(const Verifier &) = delete;
+    Verifier &operator=(const Verifier &) = delete;
+
     /**
      * Is `cand` equivalent to the spec expression on all example and
      * randomized inputs? Counts toward `stats`.
@@ -57,17 +113,66 @@ class Verifier
     bool check(const Evaluator &ref, const Evaluator &cand,
                QueryStats &stats);
 
+    /**
+     * The cached-and-deduplicated equivalence check. `key` identifies
+     * the reference expression (null key disables caching and dedup).
+     * With `skip_accepted`, a candidate matching an already-verified
+     * candidate's corner fingerprint is accepted without re-running
+     * the randomized trials — sound for enumeration loops whose
+     * accepted candidates all face the same persistent examples, and
+     * kept off for the public equivalence predicate.
+     */
+    bool check_ref(const RefKey &key, const EvaluatorRef &ref,
+                   const EvaluatorRef &cand, QueryStats &stats,
+                   bool skip_accepted = false);
+
+    /**
+     * Reference output on persistent example `i`, served from the
+     * per-key cache (filling it on miss). Used by pruning heuristics
+     * that peek at examples outside a full check.
+     */
+    const Value &ref_output(const RefKey &key, const EvaluatorRef &ref,
+                            int i, QueryStats &stats);
+
+    /**
+     * The dedup fingerprint: a hash of `cand`'s outputs on the corner
+     * examples. Exposed so tests can pin that candidates differing on
+     * any corner example never share a fingerprint.
+     */
+    uint64_t corner_fingerprint(const EvaluatorRef &cand);
+
     const Spec &spec() const { return spec_; }
     ExamplePool &pool() { return pool_; }
+    const Options &options() const { return opts_; }
 
   private:
-    bool matches(const Evaluator &ref, const Evaluator &cand,
-                 const Env &env) const;
+    struct RefKeyHash {
+        size_t
+        operator()(const RefKey &k) const
+        {
+            return std::hash<const void *>()(k.node) * 1000003u +
+                   static_cast<size_t>(k.variant);
+        }
+    };
+
+    /** Per-reference memoization and dedup state. */
+    struct RefState {
+        std::vector<Value> outputs; ///< per persistent example index
+        std::unordered_set<uint64_t> corner_fail; ///< failing prefixes
+        std::unordered_set<uint64_t> accepted;    ///< verified hashes
+    };
+
+    const Value &cached_ref(RefState &st, int i, const EvaluatorRef &ref,
+                            const Env &env, QueryStats &stats);
 
     const Spec &spec_;
     ExamplePool &pool_;
     Options opts_;
-    Evaluator ref_;
+    EvaluatorRef ref_;
+    hir::Interpreter spec_interp_; ///< context behind ref_
+    std::unordered_map<RefKey, RefState, RefKeyHash> refs_;
+    Value ref_scratch_;  ///< uncached reference result (null key)
+    Value cand_scratch_; ///< legacy Evaluator candidate result
 };
 
 } // namespace rake::synth

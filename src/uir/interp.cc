@@ -1,40 +1,66 @@
 #include "uir/interp.h"
 
 #include "base/arith.h"
-#include "hir/interp.h"
 #include "support/error.h"
 
 namespace rake::uir {
 
-namespace {
-
-Value
-eval(const UExprPtr &e, const Env &env)
+Value &
+Interpreter::slot(VecType t)
 {
-    const VecType t = e->type();
+    if (used_ == slots_.size())
+        slots_.emplace_back();
+    Value &v = slots_[used_++];
+    v.reset(t);
+    return v;
+}
+
+const Value &
+Interpreter::eval(const UExprPtr &e)
+{
+    RAKE_CHECK(e != nullptr, "eval of null UIR expression");
+    RAKE_CHECK(env_ != nullptr, "eval before reset()");
+    auto it = memo_.find(e.get());
+    if (it != memo_.end())
+        return *it->second;
+    const Value &v = eval_impl(*e);
+    memo_.emplace(e.get(), &v);
+    return v;
+}
+
+const Value &
+Interpreter::eval_impl(const UExpr &e)
+{
+    const VecType t = e.type();
     const ScalarType s = t.elem;
 
-    if (e->op() == UOp::HirLeaf)
-        return hir::evaluate(e->leaf(), env);
+    if (e.op() == UOp::HirLeaf)
+        return hir_.eval(e.leaf());
 
-    std::vector<Value> args;
-    args.reserve(e->num_args());
-    for (const auto &a : e->args())
-        args.push_back(eval(a, env));
+    // Evaluate arguments first (pointers stay valid: slots live in a
+    // deque and are only rewound at reset()). Stack storage, not a
+    // member: eval() recurses through this frame.
+    constexpr size_t kMaxArgs = 32;
+    const size_t nargs = e.args().size();
+    RAKE_CHECK(nargs <= kMaxArgs, "UIR node with " << nargs << " args");
+    const Value *argp[kMaxArgs];
+    for (size_t k = 0; k < nargs; ++k)
+        argp[k] = &eval(e.args()[k]);
+    auto arg = [&argp](size_t k) -> const Value & { return *argp[k]; };
 
-    const UParams &p = e->params();
-    Value v = Value::zero(t);
+    const UParams &p = e.params();
+    Value &v = slot(t);
 
-    switch (e->op()) {
+    switch (e.op()) {
       case UOp::Widen:
         // Lane carriers already hold the exact value; widening is
         // value-preserving by construction.
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = wrap(s, args[0][i]);
+            v[i] = wrap(s, arg(0)[i]);
         break;
       case UOp::Narrow:
         for (int i = 0; i < t.lanes; ++i) {
-            int64_t x = args[0][i];
+            int64_t x = arg(0)[i];
             x = shift_right(x, p.shift, p.round);
             v[i] = p.saturate ? saturate(s, x) : wrap(s, x);
         }
@@ -42,49 +68,49 @@ eval(const UExprPtr &e, const Env &env)
       case UOp::VsMpyAdd:
         for (int i = 0; i < t.lanes; ++i) {
             int64_t acc = 0;
-            for (size_t k = 0; k < args.size(); ++k)
-                acc += args[k][i] * p.kernel[k];
+            for (size_t k = 0; k < nargs; ++k)
+                acc += arg(k)[i] * p.kernel[k];
             v[i] = p.saturate ? saturate(s, acc) : wrap(s, acc);
         }
         break;
       case UOp::VvMpyAdd:
         for (int i = 0; i < t.lanes; ++i) {
             int64_t acc = 0;
-            for (size_t k = 0; k + 1 < args.size(); k += 2)
-                acc += args[k][i] * args[k + 1][i];
+            for (size_t k = 0; k + 1 < nargs; k += 2)
+                acc += arg(k)[i] * arg(k + 1)[i];
             v[i] = p.saturate ? saturate(s, acc) : wrap(s, acc);
         }
         break;
       case UOp::AbsDiff:
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = wrap(s, abs_diff(args[0][i], args[1][i]));
+            v[i] = wrap(s, abs_diff(arg(0)[i], arg(1)[i]));
         break;
       case UOp::Min:
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = std::min(args[0][i], args[1][i]);
+            v[i] = std::min(arg(0)[i], arg(1)[i]);
         break;
       case UOp::Max:
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = std::max(args[0][i], args[1][i]);
+            v[i] = std::max(arg(0)[i], arg(1)[i]);
         break;
       case UOp::Average:
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = average(s, args[0][i], args[1][i], p.round);
+            v[i] = average(s, arg(0)[i], arg(1)[i], p.round);
         break;
       case UOp::ShiftLeft:
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = shift_left(s, args[0][i],
-                              static_cast<int>(args[1][i]));
+            v[i] = shift_left(s, arg(0)[i],
+                              static_cast<int>(arg(1)[i]));
         break;
       case UOp::ShiftRight:
         for (int i = 0; i < t.lanes; ++i) {
             if (is_signed(s)) {
-                v[i] = wrap(s, shift_right(args[0][i],
-                                           static_cast<int>(args[1][i]),
+                v[i] = wrap(s, shift_right(arg(0)[i],
+                                           static_cast<int>(arg(1)[i]),
                                            p.round));
             } else {
-                int64_t x = args[0][i];
-                const int n = static_cast<int>(args[1][i]);
+                int64_t x = arg(0)[i];
+                const int n = static_cast<int>(arg(1)[i]);
                 if (p.round)
                     x = shift_right(x, n, true);
                 else
@@ -95,35 +121,35 @@ eval(const UExprPtr &e, const Env &env)
         break;
       case UOp::And:
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = wrap(s, args[0][i] & args[1][i]);
+            v[i] = wrap(s, arg(0)[i] & arg(1)[i]);
         break;
       case UOp::Or:
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = wrap(s, args[0][i] | args[1][i]);
+            v[i] = wrap(s, arg(0)[i] | arg(1)[i]);
         break;
       case UOp::Xor:
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = wrap(s, args[0][i] ^ args[1][i]);
+            v[i] = wrap(s, arg(0)[i] ^ arg(1)[i]);
         break;
       case UOp::Not:
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = wrap(s, ~args[0][i]);
+            v[i] = wrap(s, ~arg(0)[i]);
         break;
       case UOp::Lt:
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = args[0][i] < args[1][i] ? 1 : 0;
+            v[i] = arg(0)[i] < arg(1)[i] ? 1 : 0;
         break;
       case UOp::Le:
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = args[0][i] <= args[1][i] ? 1 : 0;
+            v[i] = arg(0)[i] <= arg(1)[i] ? 1 : 0;
         break;
       case UOp::Eq:
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = args[0][i] == args[1][i] ? 1 : 0;
+            v[i] = arg(0)[i] == arg(1)[i] ? 1 : 0;
         break;
       case UOp::Select:
         for (int i = 0; i < t.lanes; ++i)
-            v[i] = args[0][i] != 0 ? args[1][i] : args[2][i];
+            v[i] = arg(0)[i] != 0 ? arg(1)[i] : arg(2)[i];
         break;
       case UOp::HirLeaf:
         RAKE_UNREACHABLE("handled above");
@@ -131,13 +157,12 @@ eval(const UExprPtr &e, const Env &env)
     return v;
 }
 
-} // namespace
-
 Value
 evaluate(const UExprPtr &e, const Env &env)
 {
-    RAKE_CHECK(e != nullptr, "evaluate of null UIR expression");
-    return eval(e, env);
+    Interpreter interp;
+    interp.reset(env);
+    return interp.eval(e);
 }
 
 } // namespace rake::uir

@@ -9,12 +9,57 @@
 #ifndef RAKE_UIR_INTERP_H
 #define RAKE_UIR_INTERP_H
 
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
 #include "base/value.h"
+#include "hir/interp.h"
 #include "uir/uexpr.h"
 
 namespace rake::uir {
 
-/** Evaluate a UIR expression under an environment. */
+/**
+ * Reusable evaluation context for UIR expressions.
+ *
+ * Like hir::Interpreter, results are memoized per node and written
+ * into recycled scratch slots; reset() rebinds the environment
+ * without releasing capacity. HirLeaf sub-expressions are evaluated
+ * by an embedded HIR context that shares the same lifetime.
+ */
+class Interpreter
+{
+  public:
+    Interpreter() = default;
+
+    /** Rebind to a new environment, recycling the scratch slots. */
+    void
+    reset(const Env &env)
+    {
+        env_ = &env;
+        hir_.reset(env);
+        memo_.clear();
+        used_ = 0;
+    }
+
+    /**
+     * Evaluate `e`. The returned reference is owned by the
+     * interpreter and is valid until the next reset().
+     */
+    const Value &eval(const UExprPtr &e);
+
+  private:
+    const Value &eval_impl(const UExpr &e);
+    Value &slot(VecType t);
+
+    const Env *env_ = nullptr;
+    hir::Interpreter hir_;
+    std::unordered_map<const UExpr *, const Value *> memo_;
+    std::deque<Value> slots_;
+    size_t used_ = 0;
+};
+
+/** One-shot convenience wrapper around Interpreter. */
 Value evaluate(const UExprPtr &e, const Env &env);
 
 } // namespace rake::uir

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the equivalence-checking fast path (DESIGN.md): the
+ * observational-equivalence dedup must be invisible in what synthesis
+ * selects, the corner fingerprint must separate candidates that differ
+ * on any corner example, and the scratch-trial generator must follow
+ * the exact rng stream of growing the pool.
+ */
+#include <gtest/gtest.h>
+
+#include "hir/builder.h"
+#include "hir/interp.h"
+#include "hvx/printer.h"
+#include "sim/simulator.h"
+#include "synth/rake.h"
+#include "synth/verify.h"
+
+namespace rake {
+namespace {
+
+using namespace rake::hir;
+using namespace rake::synth;
+constexpr ScalarType u8 = ScalarType::UInt8;
+constexpr ScalarType u16 = ScalarType::UInt16;
+
+/** An n-tap convolution, the synthesis stress shape used throughout. */
+ExprPtr
+conv(int taps, int lanes)
+{
+    HExpr sum;
+    for (int i = 0; i < taps; ++i) {
+        HExpr term =
+            cast(u16, load(0, u8, lanes, i)) * ((i % 3) + 1);
+        sum = sum.defined() ? sum + term : term;
+    }
+    return cast(u8, (sum + 8) >> 4).ptr();
+}
+
+TEST(FastPath, DedupDoesNotChangeSelectionsOrCycles)
+{
+    hvx::Target target;
+    sim::MachineModel machine;
+    for (int taps : {3, 5, 9}) {
+        const ExprPtr e = conv(taps, 128);
+
+        RakeOptions on;
+        on.use_cache = false; // isolate from the process-wide cache
+        on.verifier.dedup = true;
+        RakeOptions off = on;
+        off.verifier.dedup = false;
+
+        auto r_on = select_instructions(e, on);
+        auto r_off = select_instructions(e, off);
+        ASSERT_TRUE(r_on.has_value());
+        ASSERT_TRUE(r_off.has_value());
+
+        // Identical instruction selection...
+        EXPECT_EQ(hvx::to_string(r_on->instr),
+                  hvx::to_string(r_off->instr))
+            << "taps=" << taps;
+        // ... identical cycle estimates...
+        const auto s_on = sim::schedule(r_on->instr, target, machine);
+        const auto s_off = sim::schedule(r_off->instr, target, machine);
+        EXPECT_EQ(s_on.cycles(1024), s_off.cycles(1024));
+        // ... and identical Table 1 query counts: dedup skips work
+        // inside a query, never the query itself.
+        EXPECT_EQ(r_on->lift.total_queries(),
+                  r_off->lift.total_queries());
+        EXPECT_EQ(r_on->lower.sketch.queries,
+                  r_off->lower.sketch.queries);
+        EXPECT_EQ(r_on->lower.swizzle.queries,
+                  r_off->lower.swizzle.queries);
+        // The flag actually gates the fast path.
+        EXPECT_EQ(r_off->lower.sketch.dedup_skips, 0);
+    }
+}
+
+TEST(FastPath, FingerprintSeparatesEveryCornerDivergence)
+{
+    const ExprPtr e = conv(3, 16);
+    Spec spec = Spec::from_expr(e);
+    ExamplePool pool(spec, 1);
+    Verifier verifier(spec, pool);
+
+    Value scratch;
+    EvaluatorRef exact = [&](const Env &env) -> const Value & {
+        scratch = hir::evaluate(e, env);
+        return scratch;
+    };
+    const uint64_t base = verifier.corner_fingerprint(exact);
+    EXPECT_EQ(verifier.corner_fingerprint(exact), base);
+
+    // Perturb one lane of one corner example's output at a time: a
+    // candidate differing from another on *any* corner example (even
+    // a single lane) must never share its fingerprint.
+    for (int corner = 0; corner < ExamplePool::kCornerExamples;
+         ++corner) {
+        for (int lane : {0, 7, 15}) {
+            int call = 0;
+            EvaluatorRef perturbed =
+                [&](const Env &env) -> const Value & {
+                scratch = hir::evaluate(e, env);
+                if (call++ == corner)
+                    scratch.lanes[lane] ^= 1;
+                return scratch;
+            };
+            EXPECT_NE(verifier.corner_fingerprint(perturbed), base)
+                << "corner=" << corner << " lane=" << lane;
+        }
+    }
+}
+
+TEST(FastPath, ScratchTrialsFollowThePoolRngStream)
+{
+    const ExprPtr e = conv(3, 16);
+    Spec spec = Spec::from_expr(e);
+    ExamplePool with_scratch(spec, 7);
+    ExamplePool with_growth(spec, 7);
+
+    auto same_env = [](const Env &a, const Env &b) {
+        ASSERT_EQ(a.buffers.size(), b.buffers.size());
+        auto ia = a.buffers.begin();
+        auto ib = b.buffers.begin();
+        for (; ia != a.buffers.end(); ++ia, ++ib) {
+            EXPECT_EQ(ia->first, ib->first);
+            EXPECT_EQ(ia->second.data, ib->second.data);
+        }
+        ASSERT_EQ(a.scalars.size(), b.scalars.size());
+        auto sa = a.scalars.begin();
+        auto sb = b.scalars.begin();
+        for (; sa != a.scalars.end(); ++sa, ++sb) {
+            EXPECT_EQ(sa->first, sb->first);
+            EXPECT_EQ(sa->second, sb->second);
+        }
+    };
+
+    // The verifier touches the persistent examples before any trial;
+    // mirror that so both pools' rng streams start aligned.
+    for (int i = 0; i < 6; ++i) {
+        with_scratch.at(i);
+        with_growth.at(i);
+    }
+
+    // Discarded trials consume the rng exactly like the legacy
+    // grow-then-pop dance.
+    for (int t = 0; t < 3; ++t) {
+        const Env &ea = with_scratch.next_trial();
+        const Env &eb = with_growth.at(with_growth.size());
+        same_env(ea, eb);
+        with_growth.pop();
+    }
+
+    // Adopting the live trial matches growing the pool: same content,
+    // same index, and the streams stay aligned afterwards.
+    const Env &kept = with_growth.at(with_growth.size());
+    same_env(with_scratch.next_trial(), kept);
+    with_scratch.adopt_trial();
+    EXPECT_EQ(with_scratch.size(), with_growth.size());
+    same_env(with_scratch.at(with_scratch.size() - 1), kept);
+    same_env(with_scratch.at(with_scratch.size()),
+             with_growth.at(with_growth.size()));
+}
+
+TEST(FastPath, VerifierMovesCounterexamplesIntoThePool)
+{
+    // A wrong candidate must leave behind a persistent counter-example
+    // and subsequent checks must reuse it (pool growth, not copies).
+    const ExprPtr e = conv(3, 16);
+    Spec spec = Spec::from_expr(e);
+    ExamplePool pool(spec, 1);
+    Verifier verifier(spec, pool);
+    QueryStats qs;
+
+    const int before = pool.size();
+    // Off-by-one in the rounding constant: corner examples with
+    // all-equal inputs can agree, so rejection may need the trials.
+    HExpr bad_expr =
+        cast(u8, ((cast(u16, load(0, u8, 16, 0)) +
+                   cast(u16, load(0, u8, 16, 1)) * 2 +
+                   cast(u16, load(0, u8, 16, 2)) * 3) +
+                  9) >>
+                 4);
+    EXPECT_FALSE(verifier.equivalent(
+        [&](const Env &env) { return hir::evaluate(bad_expr.ptr(), env); },
+        qs));
+    if (qs.counterexamples > 0) {
+        EXPECT_GT(pool.size(), before);
+    }
+}
+
+} // namespace
+} // namespace rake

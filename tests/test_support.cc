@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "support/flat_map.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
 
@@ -142,6 +143,36 @@ TEST(ResolveJobs, ExplicitRequestWinsOverEnv)
     setenv("RAKE_JOBS", "garbage", 1);
     EXPECT_EQ(resolve_jobs(0), 1);
     unsetenv("RAKE_JOBS");
+}
+
+TEST(FlatMap, InsertLookupAndSortedIteration)
+{
+    FlatMap<int, std::string> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(3), m.end());
+
+    m[3] = "c";
+    m[1] = "a";
+    m.emplace(2, "b");
+    m.emplace(2, "duplicate"); // emplace must not overwrite
+    EXPECT_EQ(m.size(), 3u);
+    EXPECT_EQ(m.at(2), "b");
+    EXPECT_EQ(m[1], "a");
+    EXPECT_THROW(m.at(9), InternalError);
+
+    // Iteration stays in ascending key order regardless of insertion
+    // order — the deterministic example generators depend on it.
+    std::vector<int> keys;
+    for (const auto &[k, v] : m)
+        keys.push_back(k);
+    EXPECT_EQ(keys, (std::vector<int>{1, 2, 3}));
+
+    const FlatMap<int, std::string> &cm = m;
+    ASSERT_NE(cm.find(1), cm.end());
+    EXPECT_EQ(cm.find(1)->second, "a");
+
+    m.clear();
+    EXPECT_TRUE(m.empty());
 }
 
 } // namespace
