@@ -12,13 +12,20 @@
  * `--json PATH` writes the machine-readable results the CI perf smoke
  * archives.
  *
- *   micro_synth [--iters K] [--jobs N] [--json PATH] [--profile]
- *               [--no-dedup] [case-name]
+ * `--target neon` measures the Neon backend through the same shared
+ * engine (`--greedy` additionally swaps in the old one-template
+ * mapper as an ablation, which reports no search statistics).
+ *
+ *   micro_synth [--target hvx|neon] [--iters K] [--jobs N]
+ *               [--json PATH] [--profile] [--no-dedup] [--greedy]
+ *               [case-name]
  */
 #include <chrono>
 #include <iostream>
 
+#include "backend/neon_backend.h"
 #include "hir/builder.h"
+#include "neon/select.h"
 #include "pipeline/report.h"
 #include "synth/profile.h"
 #include "synth/rake.h"
@@ -69,9 +76,12 @@ main(int argc, char **argv)
     synth::RakeOptions opts;
     opts.use_cache = false; // measure the engine, not the cache
     opts.verifier.dedup = !args.no_dedup;
+    if (args.target == "neon")
+        opts.lower.layouts = false; // Neon is linear-only
 
-    std::cout << "micro_synth: end-to-end synthesis, " << iters
-              << " iteration(s) per case, dedup "
+    std::cout << "micro_synth: end-to-end synthesis on "
+              << args.target << (args.greedy ? " (greedy)" : "")
+              << ", " << iters << " iteration(s) per case, dedup "
               << (opts.verifier.dedup ? "on" : "off") << "\n\n";
 
     Table table({"case", "iters", "mean ms", "min ms", "queries",
@@ -91,16 +101,36 @@ main(int argc, char **argv)
         double sum = 0.0, best = 0.0;
         for (int k = 0; k < iters; ++k) {
             const double s0 = now_seconds();
-            auto rk = synth::select_instructions(e, opts);
+            bool ok = false;
+            if (args.target == "hvx") {
+                auto rk = synth::select_instructions(e, opts);
+                ok = rk.has_value();
+                if (rk)
+                    profile.add(*rk);
+            } else if (args.greedy) {
+                neon::SelectOptions nopts;
+                nopts.greedy = true;
+                nopts.use_cache = false;
+                nopts.verifier.dedup = opts.verifier.dedup;
+                ok = neon::select_instructions(e, nopts).has_value();
+            } else {
+                // Fresh backend per run: it carries per-run search
+                // state (the swizzle memo).
+                neon::Target machine;
+                auto isa = backend::make_neon_backend(machine);
+                auto rk = synth::select_instructions_for(e, *isa, opts);
+                ok = rk.has_value();
+                if (rk)
+                    profile.add(*rk);
+            }
             const double dt = now_seconds() - s0;
-            if (!rk) {
+            if (!ok) {
                 std::cerr << "micro_synth: synthesis failed on "
                           << c.name << "\n";
                 return 1;
             }
             sum += dt;
             best = k == 0 ? dt : std::min(best, dt);
-            profile.add(*rk);
         }
         const double mean = sum / iters;
         // Per-run counters: every iteration repeats identical work, so
@@ -147,6 +177,8 @@ main(int argc, char **argv)
     if (!args.json.empty()) {
         Json j;
         j.put("driver", std::string("micro_synth"))
+            .put("target", args.target)
+            .put("greedy", static_cast<int64_t>(args.greedy))
             .put("iters", iters)
             .put("dedup", static_cast<int64_t>(opts.verifier.dedup))
             .put("wall_seconds", wall_total)

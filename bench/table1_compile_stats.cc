@@ -1,6 +1,6 @@
 /**
  * @file
- * Table 1: compilation statistics for the Hexagon HVX backend.
+ * Table 1: compilation statistics, per target backend.
  *
  * For every benchmark: the number of optimized vector expressions and
  * the per-stage synthesis effort — lifting queries/time, sketch
@@ -14,13 +14,78 @@
  * effort, so they are identical for every job count (Table 1 stays
  * faithful); "wall s" is the elapsed time and is what parallelism
  * and the cross-expression synthesis cache improve.
+ *
+ * `--target neon` runs the same suite through the Neon TargetISA
+ * backend (synthesis statistics only — the VLIW scheduling columns of
+ * the HVX pipeline do not apply, and expressions run sequentially).
  */
+#include <chrono>
 #include <iostream>
 
+#include "backend/neon_backend.h"
 #include "pipeline/benchmarks.h"
 #include "pipeline/report.h"
 #include "support/thread_pool.h"
 #include "synth/cache.h"
+
+namespace {
+
+double
+now_seconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * The Neon analog of pipeline::compile_benchmark, reporting only the
+ * synthesis-statistics fields (no baseline or VLIW schedule exists
+ * for this target).
+ */
+rake::pipeline::BenchmarkResult
+compile_neon_benchmark(const rake::pipeline::Benchmark &bench,
+                       const rake::synth::RakeOptions &ropts)
+{
+    using namespace rake;
+    pipeline::BenchmarkResult result;
+    result.name = bench.name;
+    const synth::CacheStats cache_before =
+        synth::backend_synthesis_cache("neon").stats();
+    const double t0 = now_seconds();
+    for (const pipeline::KernelExpr &kernel : bench.exprs) {
+        const double e0 = now_seconds();
+        // Fresh backend per expression: it carries per-run search
+        // state (the swizzle memo).
+        neon::Target machine;
+        auto isa = backend::make_neon_backend(machine);
+        auto rk = synth::select_instructions_for(kernel.expr, *isa,
+                                                 ropts);
+        const double dt = now_seconds() - e0;
+        result.total_seconds += dt;
+        if (!rk)
+            continue;
+        ++result.optimized_exprs;
+        result.lifting_queries += rk->lift.total_queries();
+        result.lifting_seconds += rk->lift.total_seconds();
+        result.sketch_queries += rk->lower.sketch.queries;
+        result.sketch_seconds += rk->lower.sketch.seconds;
+        result.swizzle_queries += rk->lower.swizzle.queries;
+        result.swizzle_seconds += rk->lower.swizzle.seconds;
+        result.profile.add(*rk);
+    }
+    result.wall_seconds = now_seconds() - t0;
+    result.dedup_skips = result.profile.total_dedup_skips();
+    result.ref_cache_hits = result.profile.total_ref_cache_hits();
+    result.swizzle_memo_hits = result.profile.swizzle.memo_hits;
+    const synth::CacheStats cache_after =
+        synth::backend_synthesis_cache("neon").stats();
+    result.cache_hits = cache_after.hits - cache_before.hits;
+    result.cache_misses = cache_after.misses - cache_before.misses;
+    return result;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -33,9 +98,13 @@ main(int argc, char **argv)
     opts.validate = false; // Table 1 measures synthesis effort only
     opts.jobs = args.jobs;
     opts.rake.verifier.dedup = !args.no_dedup;
+    const bool neon_target = args.target == "neon";
+    if (neon_target)
+        opts.rake.lower.layouts = false; // Neon is linear-only
 
-    std::cout << "Table 1: compilation statistics (per benchmark, "
-              << resolve_jobs(opts.jobs) << " job(s))\n\n";
+    std::cout << "Table 1: compilation statistics (" << args.target
+              << ", per benchmark, " << resolve_jobs(opts.jobs)
+              << " job(s))\n\n";
     Table table({"benchmark", "exprs", "lift q", "sketch q", "swizzle q",
                  "lift s", "sketch s", "swizzle s", "total s",
                  "wall s"});
@@ -50,7 +119,9 @@ main(int argc, char **argv)
         if (!args.only.empty() && b.name != args.only)
             continue;
         std::cerr << "[table1] compiling " << b.name << "...\n";
-        BenchmarkResult r = compile_benchmark(b, opts);
+        BenchmarkResult r = neon_target
+                                ? compile_neon_benchmark(b, opts.rake)
+                                : compile_benchmark(b, opts);
         table.add_row({r.name, std::to_string(r.optimized_exprs),
                        std::to_string(r.lifting_queries),
                        std::to_string(r.sketch_queries),
@@ -96,7 +167,9 @@ main(int argc, char **argv)
                    fmt(wall_s, 3)});
     std::cout << table.to_string() << "\n";
 
-    const synth::CacheStats cache = synth::synthesis_cache().stats();
+    const synth::CacheStats cache =
+        neon_target ? synth::backend_synthesis_cache("neon").stats()
+                    : synth::synthesis_cache().stats();
     std::cout << "synthesis cache: " << cache.hits << " hits, "
               << cache.misses << " misses, " << cache.entries
               << " entries (repeated expressions are synthesized "
@@ -108,6 +181,7 @@ main(int argc, char **argv)
     if (!args.json.empty()) {
         Json j;
         j.put("driver", std::string("table1_compile_stats"))
+            .put("target", args.target)
             .put("jobs", resolve_jobs(opts.jobs))
             .put("dedup",
                  static_cast<int64_t>(opts.rake.verifier.dedup))

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small UIR-leaf helpers shared by backend sketch grammars.
+ *
+ * Every backend's grammar needs to classify HirLeaf nodes the same
+ * way — is this a broadcast-style splat, is it a plain load with a
+ * recoverable LoadRef — and to recover the scalar expression under a
+ * splat. These lived in the HVX lowerer; the NEON grammar needs them
+ * verbatim, so they sit here below both backends.
+ */
+#ifndef RAKE_BACKEND_LEAF_UTIL_H
+#define RAKE_BACKEND_LEAF_UTIL_H
+
+#include "hir/expr.h"
+#include "uir/uexpr.h"
+
+namespace rake::backend {
+
+/** Is this UIR node a broadcast-style leaf (splat)? */
+inline bool
+is_splat_leaf(const uir::UExprPtr &u)
+{
+    if (u->op() != uir::UOp::HirLeaf)
+        return false;
+    const hir::Op op = u->leaf()->op();
+    return op == hir::Op::Const || op == hir::Op::Var ||
+           op == hir::Op::Broadcast;
+}
+
+/** Is this UIR node a plain load leaf? If so yield its LoadRef. */
+inline bool
+is_load_leaf(const uir::UExprPtr &u, hir::LoadRef *ref)
+{
+    if (u->op() != uir::UOp::HirLeaf ||
+        u->leaf()->op() != hir::Op::Load)
+        return false;
+    *ref = u->leaf()->load_ref();
+    return true;
+}
+
+/** The scalar HIR expression under a splat leaf. */
+inline hir::ExprPtr
+splat_scalar(const uir::UExprPtr &u)
+{
+    const hir::ExprPtr &leaf = u->leaf();
+    if (leaf->op() == hir::Op::Broadcast)
+        return leaf->arg(0);
+    if (leaf->op() == hir::Op::Const)
+        return hir::Expr::make_const(leaf->const_value(),
+                                     VecType(leaf->type().elem, 1));
+    return hir::Expr::make_var(leaf->var_name(),
+                               VecType(leaf->type().elem, 1));
+}
+
+} // namespace rake::backend
+
+#endif // RAKE_BACKEND_LEAF_UTIL_H

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <sstream>
+#include <unordered_set>
 
 #include "hir/printer.h"
 #include "support/error.h"
@@ -74,8 +75,42 @@ to_string(NOp op)
         return "veor";
       case NOp::Not:
         return "vmvn";
+      case NOp::Hole:
+        return "??";
+      case NOp::Lo:
+        return "vget_low";
+      case NOp::Hi:
+        return "vget_high";
+      case NOp::Combine:
+        return "vcombine";
+      case NOp::Ext:
+        return "vext";
+      case NOp::Zip:
+        return "vzip";
+      case NOp::Uzp:
+        return "vuzp";
+      case NOp::Rev:
+        return "vrev";
+      case NOp::Tbl:
+        return "vtbl";
     }
     RAKE_UNREACHABLE("bad NOp");
+}
+
+bool
+is_free_movement(NOp op)
+{
+    switch (op) {
+      case NOp::Bitcast:
+      case NOp::Dup:
+      case NOp::Hole:
+      case NOp::Lo:
+      case NOp::Hi:
+      case NOp::Combine:
+        return true;
+      default:
+        return false;
+    }
 }
 
 NInstrPtr
@@ -97,10 +132,18 @@ NInstr::make_dup(hir::ExprPtr scalar, int lanes)
 }
 
 NInstrPtr
+NInstr::make_hole(int id, VecType type)
+{
+    RAKE_USER_CHECK(id >= 0, "hole id must be non-negative");
+    return NInstrPtr(new NInstr(NOp::Hole, type, {}, {id},
+                                hir::LoadRef{}, nullptr));
+}
+
+NInstrPtr
 NInstr::make(NOp op, std::vector<NInstrPtr> args,
              std::vector<int64_t> imms, ScalarType out_elem)
 {
-    RAKE_USER_CHECK(op != NOp::Ld1 && op != NOp::Dup,
+    RAKE_USER_CHECK(op != NOp::Ld1 && op != NOp::Dup && op != NOp::Hole,
                     "use the dedicated factory");
     RAKE_USER_CHECK(!args.empty(), to_string(op) << " needs operands");
     for (const auto &a : args)
@@ -181,6 +224,36 @@ NInstr::make(NOp op, std::vector<NInstrPtr> args,
       case NOp::Not:
         RAKE_USER_CHECK(args.size() == 1, "vmvn is unary");
         break;
+      case NOp::Lo:
+      case NOp::Hi:
+        RAKE_USER_CHECK(args.size() == 1 && a0.lanes % 2 == 0,
+                        "half extraction needs an even-lane operand");
+        result = VecType(a0.elem, a0.lanes / 2);
+        break;
+      case NOp::Combine:
+        RAKE_USER_CHECK(args.size() == 2 && args[1]->type() == a0,
+                        "vcombine operand mismatch");
+        result = VecType(a0.elem, a0.lanes * 2);
+        break;
+      case NOp::Ext:
+        RAKE_USER_CHECK(args.size() == 2 && args[1]->type() == a0 &&
+                            imms.size() == 1 && imms[0] > 0 &&
+                            imms[0] < a0.lanes,
+                        "bad vext");
+        break;
+      case NOp::Zip:
+      case NOp::Uzp:
+        RAKE_USER_CHECK(args.size() == 1 && a0.lanes % 2 == 0,
+                        "zip/uzp need an even-lane operand");
+        break;
+      case NOp::Rev:
+        RAKE_USER_CHECK(args.size() == 1, "vrev is unary");
+        break;
+      case NOp::Tbl:
+        RAKE_USER_CHECK(args.size() == 1 && !imms.empty(),
+                        "vtbl needs a table and an index list");
+        result = VecType(a0.elem, static_cast<int>(imms.size()));
+        break;
       default:
         RAKE_USER_CHECK(args.size() == 2 && args[1]->type() == a0,
                         to_string(op) << " operand mismatch");
@@ -191,13 +264,29 @@ NInstr::make(NOp op, std::vector<NInstrPtr> args,
                                 nullptr));
 }
 
+namespace {
+
+void
+count_instrs(const NInstr *n, std::unordered_set<const NInstr *> &seen,
+             int &count)
+{
+    if (!seen.insert(n).second)
+        return;
+    if (!is_free_movement(n->op()))
+        ++count;
+    for (const auto &a : n->args())
+        count_instrs(a.get(), seen, count);
+}
+
+} // namespace
+
 int
 NInstr::instruction_count() const
 {
-    int n = op_ == NOp::Bitcast ? 0 : 1;
-    for (const auto &a : args_)
-        n += a->instruction_count();
-    return n;
+    std::unordered_set<const NInstr *> seen;
+    int count = 0;
+    count_instrs(this, seen, count);
+    return count;
 }
 
 namespace {

@@ -59,9 +59,28 @@ enum class NOp : uint8_t {
     Orr,
     Eor,
     Not,
+
+    // Data movement (the swizzle repertoire) and sketch holes.
+    Hole,   ///< ??-hole awaiting swizzle synthesis (search-time only)
+    Lo,     ///< low half of a register pair (vget_low)
+    Hi,     ///< high half of a register pair (vget_high)
+    Combine,///< concatenate two halves (vcombine)
+    Ext,    ///< lane-wise funnel extract (vext)
+    Zip,    ///< interleave the two halves in place (vzip)
+    Uzp,    ///< deinterleave even/odd lanes in place (vuzp)
+    Rev,    ///< reverse all lanes (vrev)
+    Tbl,    ///< table lookup with a static index list (vtbl)
 };
 
 std::string to_string(NOp op);
+
+/**
+ * Ops that cost no issue slot: register renames and loop-invariant
+ * broadcasts (vdup of a kernel constant is hoisted out of the loop),
+ * plus the search-time Hole placeholder. Shared by the instruction
+ * counter and the cycle-cost model.
+ */
+bool is_free_movement(NOp op);
 
 class NInstr;
 using NInstrPtr = std::shared_ptr<const NInstr>;
@@ -72,6 +91,7 @@ class NInstr
   public:
     static NInstrPtr make_load(hir::LoadRef ref, VecType type);
     static NInstrPtr make_dup(hir::ExprPtr scalar, int lanes);
+    static NInstrPtr make_hole(int id, VecType type);
     static NInstrPtr make(NOp op, std::vector<NInstrPtr> args,
                           std::vector<int64_t> imms = {},
                           ScalarType out_elem = ScalarType::Int32);
@@ -85,7 +105,18 @@ class NInstr
     const hir::LoadRef &load_ref() const { return load_; }
     const hir::ExprPtr &dup_value() const { return dup_; }
 
-    /** Instructions in the tree, not counting free reinterprets. */
+    /** Hole table index (Hole nodes only). */
+    int
+    hole_id() const
+    {
+        RAKE_CHECK(op_ == NOp::Hole, "hole_id of a non-hole");
+        return static_cast<int>(imms_[0]);
+    }
+
+    /**
+     * Instructions in the DAG (shared subtrees counted once), not
+     * counting free register plumbing — see is_free_movement().
+     */
     int instruction_count() const;
 
   private:

@@ -2,179 +2,19 @@
 
 #include <unordered_map>
 
-#include "base/arith.h"
+#include "backend/neon_backend.h"
 #include "hir/interp.h"
 #include "hir/simplify.h"
 #include "support/error.h"
 #include "synth/lift.h"
+#include "synth/rake.h"
 #include "synth/spec.h"
 #include "synth/verify.h"
-#include "uir/interp.h"
 
 namespace rake::neon {
 
 // ------------------------------------------------------------------
-// Interpreter
-// ------------------------------------------------------------------
-
-namespace {
-
-Value
-eval(const NInstrPtr &n, const Env &env,
-     std::unordered_map<const NInstr *, Value> &memo)
-{
-    auto it = memo.find(n.get());
-    if (it != memo.end())
-        return it->second;
-
-    const VecType t = n->type();
-    const ScalarType s = t.elem;
-    std::vector<Value> a;
-    for (int i = 0; i < n->num_args(); ++i)
-        a.push_back(eval(n->arg(i), env, memo));
-    const std::vector<int64_t> &im = n->imms();
-
-    Value v = Value::zero(t);
-    const int L = t.lanes;
-    switch (n->op()) {
-      case NOp::Ld1: {
-        const Buffer &buf = env.buffer(n->load_ref().buffer);
-        for (int i = 0; i < L; ++i)
-            v[i] = wrap(s, buf.at(env.x + n->load_ref().dx + i,
-                                  env.y + n->load_ref().dy));
-        break;
-      }
-      case NOp::Dup: {
-        const Value sv = hir::evaluate(n->dup_value(), env);
-        v = Value::splat(s, L, sv.as_scalar());
-        break;
-      }
-      case NOp::Bitcast:
-      case NOp::Movl:
-      case NOp::Xtn:
-        for (int i = 0; i < L; ++i)
-            v[i] = wrap(s, a[0][i]);
-        break;
-      case NOp::Qxtn:
-        for (int i = 0; i < L; ++i)
-            v[i] = saturate(s, a[0][i]);
-        break;
-      case NOp::Shrn:
-        for (int i = 0; i < L; ++i)
-            v[i] = wrap(s, shift_right(a[0][i],
-                                       static_cast<int>(im[0])));
-        break;
-      case NOp::Qrshrn:
-        for (int i = 0; i < L; ++i)
-            v[i] = saturate(
-                s, shift_right(a[0][i], static_cast<int>(im[0]), true));
-        break;
-      case NOp::Add:
-        for (int i = 0; i < L; ++i)
-            v[i] = wrap(s, a[0][i] + a[1][i]);
-        break;
-      case NOp::Qadd:
-        for (int i = 0; i < L; ++i)
-            v[i] = saturate(s, a[0][i] + a[1][i]);
-        break;
-      case NOp::Sub:
-        for (int i = 0; i < L; ++i)
-            v[i] = wrap(s, a[0][i] - a[1][i]);
-        break;
-      case NOp::Mul:
-      case NOp::Mull:
-        for (int i = 0; i < L; ++i)
-            v[i] = wrap(s, a[0][i] * a[1][i]);
-        break;
-      case NOp::Mla:
-      case NOp::Mlal:
-        for (int i = 0; i < L; ++i)
-            v[i] = wrap(s, a[0][i] + a[1][i] * a[2][i]);
-        break;
-      case NOp::Abd:
-        for (int i = 0; i < L; ++i)
-            v[i] = wrap(s, abs_diff(a[0][i], a[1][i]));
-        break;
-      case NOp::Min:
-        for (int i = 0; i < L; ++i)
-            v[i] = std::min(a[0][i], a[1][i]);
-        break;
-      case NOp::Max:
-        for (int i = 0; i < L; ++i)
-            v[i] = std::max(a[0][i], a[1][i]);
-        break;
-      case NOp::Hadd:
-        for (int i = 0; i < L; ++i)
-            v[i] = average(s, a[0][i], a[1][i], false);
-        break;
-      case NOp::Rhadd:
-        for (int i = 0; i < L; ++i)
-            v[i] = average(s, a[0][i], a[1][i], true);
-        break;
-      case NOp::Shl:
-        for (int i = 0; i < L; ++i)
-            v[i] = shift_left(s, a[0][i], static_cast<int>(im[0]));
-        break;
-      case NOp::Sshr:
-        for (int i = 0; i < L; ++i)
-            v[i] = wrap(s, shift_right(a[0][i],
-                                       static_cast<int>(im[0])));
-        break;
-      case NOp::Ushr:
-        for (int i = 0; i < L; ++i)
-            v[i] = logical_shift_right(s, a[0][i],
-                                       static_cast<int>(im[0]));
-        break;
-      case NOp::Rshr:
-        for (int i = 0; i < L; ++i)
-            v[i] = wrap(s, shift_right(a[0][i],
-                                       static_cast<int>(im[0]), true));
-        break;
-      case NOp::Cmgt:
-        for (int i = 0; i < L; ++i)
-            v[i] = a[0][i] > a[1][i] ? 1 : 0;
-        break;
-      case NOp::Cmeq:
-        for (int i = 0; i < L; ++i)
-            v[i] = a[0][i] == a[1][i] ? 1 : 0;
-        break;
-      case NOp::Bsl:
-        for (int i = 0; i < L; ++i)
-            v[i] = a[0][i] != 0 ? a[1][i] : a[2][i];
-        break;
-      case NOp::And:
-        for (int i = 0; i < L; ++i)
-            v[i] = wrap(s, a[0][i] & a[1][i]);
-        break;
-      case NOp::Orr:
-        for (int i = 0; i < L; ++i)
-            v[i] = wrap(s, a[0][i] | a[1][i]);
-        break;
-      case NOp::Eor:
-        for (int i = 0; i < L; ++i)
-            v[i] = wrap(s, a[0][i] ^ a[1][i]);
-        break;
-      case NOp::Not:
-        for (int i = 0; i < L; ++i)
-            v[i] = wrap(s, ~a[0][i]);
-        break;
-    }
-    memo.emplace(n.get(), v);
-    return v;
-}
-
-} // namespace
-
-Value
-evaluate(const NInstrPtr &n, const Env &env)
-{
-    RAKE_CHECK(n != nullptr, "evaluate of null instruction");
-    std::unordered_map<const NInstr *, Value> memo;
-    return eval(n, env, memo);
-}
-
-// ------------------------------------------------------------------
-// Greedy UIR -> Neon lowering
+// Greedy UIR -> Neon lowering (the ablation baseline)
 // ------------------------------------------------------------------
 
 namespace {
@@ -260,7 +100,7 @@ class NeonSelector
                                      {x}, {p.shift});
                 }
                 if (p.saturate)
-                    return nullptr; // same-width sat: not mapped yet
+                    return nullptr; // same-width sat: not mapped here
                 return coerce(x, t.elem);
             }
             if (ratio == 4) {
@@ -298,7 +138,7 @@ class NeonSelector
           }
           case UOp::VsMpyAdd: {
             if (p.saturate)
-                return nullptr; // preliminary port: unmapped
+                return nullptr; // greedy repertoire: unmapped
             NInstrPtr acc;
             for (int i = 0; i < u->num_args(); ++i) {
                 NInstrPtr x = lower(u->arg(i));
@@ -436,6 +276,30 @@ class NeonSelector
     std::vector<UExprPtr> pinned_;
 };
 
+std::optional<NInstrPtr>
+select_greedy(const hir::ExprPtr &expr, const SelectOptions &opts)
+{
+    hir::ExprPtr normalized = hir::simplify(expr);
+    synth::Spec spec = synth::Spec::from_expr(normalized);
+    synth::ExamplePool pool(spec, opts.seed);
+    synth::Verifier verifier(spec, pool);
+    // The lifting stage is shared with the HVX backend — the §6 claim.
+    synth::LiftResult lifted = synth::lift_to_uir(verifier);
+    if (!lifted.expr)
+        return std::nullopt;
+    auto lowered = lower_to_neon(lifted.expr);
+    if (!lowered)
+        return std::nullopt;
+    // Greedy path: still verified, against fresh examples.
+    for (int i = 0; i < 12; ++i) {
+        const Env &env = pool.at(i);
+        if (!(hir::evaluate(normalized, env) ==
+              evaluate(*lowered, env)))
+            return std::nullopt;
+    }
+    return lowered;
+}
+
 } // namespace
 
 std::optional<NInstrPtr>
@@ -454,28 +318,25 @@ lower_to_neon(const uir::UExprPtr &lifted)
 }
 
 std::optional<NInstrPtr>
-select_instructions(const hir::ExprPtr &expr)
+select_instructions(const hir::ExprPtr &expr, const SelectOptions &opts)
 {
     RAKE_USER_CHECK(expr != nullptr, "null expression");
-    hir::ExprPtr normalized = hir::simplify(expr);
-    synth::Spec spec = synth::Spec::from_expr(normalized);
-    synth::ExamplePool pool(spec, 1);
-    synth::Verifier verifier(spec, pool);
-    // The lifting stage is shared with the HVX backend — the §6 claim.
-    synth::LiftResult lifted = synth::lift_to_uir(verifier);
-    if (!lifted.expr)
+    if (opts.greedy)
+        return select_greedy(expr, opts);
+
+    // The full synthesis treatment: shared lift + sketch/CEGIS/swizzle
+    // search through the Neon backend.
+    neon::Target target;
+    auto isa = backend::make_neon_backend(target);
+    synth::RakeOptions ropts;
+    ropts.lower = opts.lower;
+    ropts.verifier = opts.verifier;
+    ropts.seed = opts.seed;
+    ropts.use_cache = opts.use_cache;
+    auto r = synth::select_instructions_for(expr, *isa, ropts);
+    if (!r || !r->instr)
         return std::nullopt;
-    auto lowered = lower_to_neon(lifted.expr);
-    if (!lowered)
-        return std::nullopt;
-    // Preliminary port: still verified, against fresh examples.
-    for (int i = 0; i < 12; ++i) {
-        const Env &env = pool.at(i);
-        if (!(hir::evaluate(normalized, env) ==
-              evaluate(*lowered, env)))
-            return std::nullopt;
-    }
-    return lowered;
+    return std::static_pointer_cast<const NInstr>(r->instr);
 }
 
 } // namespace rake::neon

@@ -1,9 +1,14 @@
 /**
  * @file
- * Preliminary Uber-Instruction-IR -> Neon lowering and interpreter
- * (paper §6): demonstrates that the HVX-derived uber-instructions
- * retarget to ARM with only a new per-instruction mapping — the
- * lifting stage is reused verbatim.
+ * Uber-Instruction-IR -> Neon instruction selection (paper §6).
+ *
+ * The Neon port originally demonstrated retargeting with a greedy
+ * one-template mapping per uber-instruction. It now goes through the
+ * same synthesis stack as HVX — sketch grammar, CEGIS verification,
+ * swizzle synthesis under a cost budget, backtracking, and the
+ * cross-expression cache — via backend::make_neon_backend(). The
+ * greedy mapping is kept behind SelectOptions::greedy as the ablation
+ * baseline.
  */
 #ifndef RAKE_NEON_SELECT_H
 #define RAKE_NEON_SELECT_H
@@ -12,26 +17,47 @@
 
 #include "base/value.h"
 #include "neon/instr.h"
+#include "neon/interp.h"
+#include "synth/lower.h"
+#include "synth/verify.h"
 #include "uir/uexpr.h"
 
 namespace rake::neon {
 
-/** Evaluate a Neon instruction tree (linear lane semantics). */
-Value evaluate(const NInstrPtr &n, const Env &env);
+/** Configuration of one Neon selection run. */
+struct SelectOptions {
+    /** Use the old greedy one-template mapping (ablation baseline). */
+    bool greedy = false;
+
+    synth::LowerOptions lower;
+    synth::VerifierOptions verifier;
+    uint64_t seed = 1;     ///< example-pool seed
+    bool use_cache = true; ///< consult the cross-expression cache
+
+    SelectOptions()
+    {
+        // Neon compute ops never reorder lanes, so the §5.1 layout
+        // search would only enumerate dead ends.
+        lower.layouts = false;
+    }
+};
 
 /**
  * Greedily lower a lifted expression to Neon. Returns nullopt when an
- * uber-instruction has no mapping in this preliminary port (e.g.
+ * uber-instruction has no mapping in the greedy repertoire (e.g.
  * saturating multiply-add chains).
  */
 std::optional<NInstrPtr> lower_to_neon(const uir::UExprPtr &lifted);
 
 /**
  * Full flow: lift the HIR expression with the shared lifting stage,
- * then lower to Neon. The caller should cross-check the result
- * against the HIR interpreter (tests do).
+ * then search for the lowest-cost Neon lowering (or, under
+ * opts.greedy, apply the one-template mapping). Every returned result
+ * has been verified against the HIR reference on concrete examples.
  */
-std::optional<NInstrPtr> select_instructions(const hir::ExprPtr &expr);
+std::optional<NInstrPtr> select_instructions(const hir::ExprPtr &expr,
+                                             const SelectOptions &opts
+                                             = {});
 
 } // namespace rake::neon
 

@@ -114,10 +114,17 @@ parse_bench_args(int argc, char **argv)
         } else if (a.rfind("--json=", 0) == 0) {
             args.json = a.substr(7);
             RAKE_USER_CHECK(!args.json.empty(), a << " needs a path");
+        } else if (a == "--target") {
+            RAKE_USER_CHECK(i + 1 < argc, a << " needs a value");
+            args.target = argv[++i];
+        } else if (a.rfind("--target=", 0) == 0) {
+            args.target = a.substr(9);
         } else if (a == "--profile") {
             args.profile = true;
         } else if (a == "--no-dedup") {
             args.no_dedup = true;
+        } else if (a == "--greedy") {
+            args.greedy = true;
         } else {
             // A typo'd flag must not silently become a benchmark
             // filter (and then match nothing).
@@ -128,6 +135,11 @@ parse_bench_args(int argc, char **argv)
             args.only = a;
         }
     }
+    RAKE_USER_CHECK(args.target == "hvx" || args.target == "neon",
+                    "unknown target: " << args.target
+                                       << " (expected hvx or neon)");
+    RAKE_USER_CHECK(!args.greedy || args.target == "neon",
+                    "--greedy is a neon-only ablation");
     return args;
 }
 

@@ -40,17 +40,19 @@ std::string speedup_bar(const BenchmarkResult &r, double max_speedup);
 
 /**
  * Command-line options shared by the bench drivers:
- * `[--jobs N] [--json PATH] [--profile] [--no-dedup]
- * [benchmark-name]`. jobs = 0 defers to the RAKE_JOBS environment
- * variable (see CompileOptions::jobs).
+ * `[--target hvx|neon] [--jobs N] [--json PATH] [--profile]
+ * [--no-dedup] [--greedy] [benchmark-name]`. jobs = 0 defers to the
+ * RAKE_JOBS environment variable (see CompileOptions::jobs).
  */
 struct BenchArgs {
     int jobs = 0;      ///< --jobs N / --jobs=N
     int iters = 0;     ///< --iters K (0 = driver default)
     std::string only;  ///< positional single-benchmark filter
     std::string json;  ///< --json PATH: machine-readable results
+    std::string target = "hvx"; ///< --target hvx|neon: backend to run
     bool profile = false;  ///< --profile: synthesis breakdown
     bool no_dedup = false; ///< --no-dedup: fast-path ablation switch
+    bool greedy = false;   ///< --greedy: Neon greedy-mapper ablation
 };
 
 /** Parse driver flags; throws UserError on malformed input. */

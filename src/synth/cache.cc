@@ -2,90 +2,21 @@
 
 namespace rake::synth {
 
-namespace {
-
-uint64_t
-mix(uint64_t h, uint64_t v)
-{
-    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-    return h * 0x100000001b3ull;
-}
-
-} // namespace
-
 uint64_t
 options_fingerprint(const RakeOptions &opts)
 {
     uint64_t h = 0xcbf29ce484222325ull;
-    h = mix(h, static_cast<uint64_t>(opts.target.vector_bytes));
-    h = mix(h, opts.lower.backtracking ? 1 : 0);
-    h = mix(h, opts.lower.layouts ? 1 : 0);
-    h = mix(h, opts.lower.lane0_pruning ? 1 : 0);
-    h = mix(h, static_cast<uint64_t>(opts.lower.swizzle_budget));
-    h = mix(h, static_cast<uint64_t>(opts.verifier.base_examples));
-    h = mix(h, static_cast<uint64_t>(opts.verifier.trials));
-    h = mix(h, opts.verifier.dedup ? 1 : 0);
-    h = mix(h, opts.z3_prove ? 1 : 0);
-    h = mix(h, opts.seed);
+    h = detail::cache_mix(h, static_cast<uint64_t>(opts.target.vector_bytes));
+    h = detail::cache_mix(h, opts.lower.backtracking ? 1 : 0);
+    h = detail::cache_mix(h, opts.lower.layouts ? 1 : 0);
+    h = detail::cache_mix(h, opts.lower.lane0_pruning ? 1 : 0);
+    h = detail::cache_mix(h, static_cast<uint64_t>(opts.lower.swizzle_budget));
+    h = detail::cache_mix(h, static_cast<uint64_t>(opts.verifier.base_examples));
+    h = detail::cache_mix(h, static_cast<uint64_t>(opts.verifier.trials));
+    h = detail::cache_mix(h, opts.verifier.dedup ? 1 : 0);
+    h = detail::cache_mix(h, opts.z3_prove ? 1 : 0);
+    h = detail::cache_mix(h, opts.seed);
     return h;
-}
-
-SynthCache::EntryPtr
-SynthCache::acquire(const hir::ExprPtr &expr, uint64_t fingerprint,
-                    bool *owner)
-{
-    const size_t bucket = mix(expr->hash(), fingerprint);
-    std::unique_lock<std::mutex> lock(mutex_);
-    std::vector<EntryPtr> &slots = table_[bucket];
-    for (const EntryPtr &slot : slots) {
-        if (slot->fingerprint != fingerprint ||
-            !hir::equal(slot->expr, expr))
-            continue;
-        // Copy the shared_ptr: waiting releases the mutex, and a
-        // concurrent insert may reallocate the bucket vector.
-        EntryPtr e = slot;
-        ++stats_.hits;
-        // Another thread may still be synthesizing this key; block
-        // until it publishes rather than duplicating work.
-        published_.wait(lock, [&e] { return e->done; });
-        *owner = false;
-        return e;
-    }
-    auto entry = std::make_shared<Entry>();
-    entry->expr = expr;
-    entry->fingerprint = fingerprint;
-    slots.push_back(entry);
-    ++stats_.misses;
-    ++stats_.entries;
-    *owner = true;
-    return entry;
-}
-
-void
-SynthCache::publish(const EntryPtr &entry,
-                    std::optional<RakeResult> result)
-{
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        entry->result = std::move(result);
-        entry->done = true;
-    }
-    published_.notify_all();
-}
-
-CacheStats
-SynthCache::stats() const
-{
-    std::unique_lock<std::mutex> lock(mutex_);
-    return stats_;
-}
-
-void
-SynthCache::clear()
-{
-    std::unique_lock<std::mutex> lock(mutex_);
-    table_.clear();
-    stats_ = CacheStats{};
 }
 
 SynthCache &
@@ -93,6 +24,20 @@ synthesis_cache()
 {
     static SynthCache cache;
     return cache;
+}
+
+BackendSynthCache &
+backend_synthesis_cache(const std::string &backend)
+{
+    static std::mutex registry_mutex;
+    static std::unordered_map<std::string,
+                              std::unique_ptr<BackendSynthCache>>
+        registry;
+    std::unique_lock<std::mutex> lock(registry_mutex);
+    std::unique_ptr<BackendSynthCache> &slot = registry[backend];
+    if (!slot)
+        slot = std::make_unique<BackendSynthCache>();
+    return *slot;
 }
 
 } // namespace rake::synth

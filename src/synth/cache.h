@@ -7,7 +7,7 @@
  * shared conv subtrees of the benchmark suite, or the same kernel
  * compiled under several benchmarks. The cache maps the structural
  * hash of the (simplified) HIR expression plus a fingerprint of every
- * option that can influence synthesis to the full RakeResult, so each
+ * option that can influence synthesis to the full result, so each
  * distinct (expression, options) pair is synthesized exactly once per
  * process.
  *
@@ -19,6 +19,12 @@
  * (seeded RNG, ordered search), the published result — including its
  * per-stage statistics — is identical no matter which thread won,
  * which keeps benchmark statistics bit-identical across job counts.
+ *
+ * The table is a template over the stored result so the HVX
+ * RakeResult cache and the per-backend BackendRakeResult caches share
+ * one implementation. Backend caches are keyed by backend name (one
+ * table per target ISA); the HVX fast path keeps its dedicated
+ * singleton untouched.
  */
 #ifndef RAKE_SYNTH_CACHE_H
 #define RAKE_SYNTH_CACHE_H
@@ -28,6 +34,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -45,7 +52,18 @@ struct CacheStats {
 /** Everything beyond the expression that can change a Rake run. */
 uint64_t options_fingerprint(const RakeOptions &opts);
 
-class SynthCache
+namespace detail {
+
+inline uint64_t
+cache_mix(uint64_t h, uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h * 0x100000001b3ull;
+}
+
+} // namespace detail
+
+template <typename Result> class BasicSynthCache
 {
   public:
     /**
@@ -58,7 +76,7 @@ class SynthCache
         hir::ExprPtr expr;  ///< key expression (deep-compared)
         uint64_t fingerprint = 0;
         bool done = false;
-        std::optional<RakeResult> result;
+        std::optional<Result> result;
     };
     using EntryPtr = std::shared_ptr<Entry>;
 
@@ -70,17 +88,63 @@ class SynthCache
      * MUST publish() it exactly once (publishing a failure is fine),
      * or every later lookup of the key deadlocks.
      */
-    EntryPtr acquire(const hir::ExprPtr &expr, uint64_t fingerprint,
-                     bool *owner);
+    EntryPtr
+    acquire(const hir::ExprPtr &expr, uint64_t fingerprint, bool *owner)
+    {
+        const size_t bucket = detail::cache_mix(expr->hash(), fingerprint);
+        std::unique_lock<std::mutex> lock(mutex_);
+        std::vector<EntryPtr> &slots = table_[bucket];
+        for (const EntryPtr &slot : slots) {
+            if (slot->fingerprint != fingerprint ||
+                !hir::equal(slot->expr, expr))
+                continue;
+            // Copy the shared_ptr: waiting releases the mutex, and a
+            // concurrent insert may reallocate the bucket vector.
+            EntryPtr e = slot;
+            ++stats_.hits;
+            // Another thread may still be synthesizing this key; block
+            // until it publishes rather than duplicating work.
+            published_.wait(lock, [&e] { return e->done; });
+            *owner = false;
+            return e;
+        }
+        auto entry = std::make_shared<Entry>();
+        entry->expr = expr;
+        entry->fingerprint = fingerprint;
+        slots.push_back(entry);
+        ++stats_.misses;
+        ++stats_.entries;
+        *owner = true;
+        return entry;
+    }
 
     /** Publish the owner's outcome and wake all waiters. */
-    void publish(const EntryPtr &entry,
-                 std::optional<RakeResult> result);
+    void
+    publish(const EntryPtr &entry, std::optional<Result> result)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            entry->result = std::move(result);
+            entry->done = true;
+        }
+        published_.notify_all();
+    }
 
-    CacheStats stats() const;
+    CacheStats
+    stats() const
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return stats_;
+    }
 
     /** Drop every entry and zero the counters (tests, benchmarks). */
-    void clear();
+    void
+    clear()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        table_.clear();
+        stats_ = CacheStats{};
+    }
 
   private:
     mutable std::mutex mutex_;
@@ -89,8 +153,22 @@ class SynthCache
     CacheStats stats_;
 };
 
+/** The HVX cache (dedicated type, kept for source compatibility). */
+using SynthCache = BasicSynthCache<RakeResult>;
+
+/** Per-target cache used by select_instructions_for(). */
+using BackendSynthCache = BasicSynthCache<BackendRakeResult>;
+
 /** The process-wide cache select_instructions() consults. */
 SynthCache &synthesis_cache();
+
+/**
+ * The process-wide cache for one backend, keyed by TargetISA::name().
+ * Separate tables per target: the same HIR expression lowers to
+ * different instruction sets, and a table per name keeps clear()
+ * (tests, benchmarks) scoped to one target.
+ */
+BackendSynthCache &backend_synthesis_cache(const std::string &backend);
 
 } // namespace rake::synth
 

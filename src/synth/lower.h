@@ -1,6 +1,6 @@
 /**
  * @file
- * Lowering from the Uber-Instruction IR to HVX (paper §4-§5,
+ * Lowering from the Uber-Instruction IR to a target ISA (paper §4-§5,
  * Algorithm 2).
  *
  * For each uber-instruction, bottom-up:
@@ -15,13 +15,19 @@
  *
  * Lowering is parameterized over the output data layout ℓ
  * (linear / deinterleaved, §5.1) so intermediate values can stay in
- * the layout HVX's widening instructions naturally produce.
+ * the layout widening instructions naturally produce.
+ *
+ * The search itself is target-independent: the instruction grammar,
+ * interpreter, swizzle repertoire, and cost model come from a
+ * backend::TargetISA (see backend/target_isa.h). lower_to_hvx keeps
+ * the original HVX-typed API as a thin wrapper over the shared core.
  */
 #ifndef RAKE_SYNTH_LOWER_H
 #define RAKE_SYNTH_LOWER_H
 
 #include <optional>
 
+#include "backend/target_isa.h"
 #include "hvx/cost.h"
 #include "synth/sketch.h"
 #include "synth/swizzle.h"
@@ -51,10 +57,27 @@ struct LowerResult {
     LowerStats stats;
 };
 
+/** Result of lowering through an arbitrary backend. */
+struct BackendLowerResult {
+    backend::InstrHandle instr;
+    LowerStats stats;
+};
+
 /**
- * Lower a lifted expression to HVX. Returns nullopt when no verified
- * implementation was found (the caller then falls back to the
- * baseline selector, as Rake falls back to Halide's).
+ * Lower a lifted expression through the given backend. Returns
+ * nullopt when no verified implementation was found (the caller then
+ * falls back to its baseline selector, as Rake falls back to
+ * Halide's). The backend instance carries per-run state (swizzle
+ * memo); use a fresh one per call.
+ */
+std::optional<BackendLowerResult>
+lower_with_backend(Verifier &verifier, const uir::UExprPtr &lifted,
+                   backend::TargetISA &isa,
+                   const LowerOptions &opts = {});
+
+/**
+ * Lower a lifted expression to HVX. Equivalent to lower_with_backend
+ * over a fresh HVX backend; kept as the HVX-typed entry point.
  */
 std::optional<LowerResult> lower_to_hvx(Verifier &verifier,
                                         const uir::UExprPtr &lifted,

@@ -18,29 +18,43 @@ accumulate(QueryStats &into, const QueryStats &from)
     into.seconds += from.seconds;
 }
 
+/** Stage-stat accumulation shared by both result flavors. */
+template <typename ResultT>
+void
+add_run(SynthProfile &p, const ResultT &r)
+{
+    ++p.runs;
+    if (r.cache_hit) {
+        // Cached runs carry the original synthesis's statistics for
+        // Table 1, but no time was spent re-deriving them; folding
+        // them in would double-count effort.
+        ++p.cache_hits;
+        return;
+    }
+    accumulate(p.lift_update, r.lift.update);
+    accumulate(p.lift_replace, r.lift.replace);
+    accumulate(p.lift_extend, r.lift.extend);
+    accumulate(p.sketch, r.lower.sketch);
+    p.swizzle.queries += r.lower.swizzle.queries;
+    p.swizzle.solved += r.lower.swizzle.solved;
+    p.swizzle.unsat += r.lower.swizzle.unsat;
+    p.swizzle.memo_hits += r.lower.swizzle.memo_hits;
+    p.swizzle.seconds += r.lower.swizzle.seconds;
+    p.backtracks += r.lower.backtracks;
+}
+
 } // namespace
 
 void
 SynthProfile::add(const RakeResult &r)
 {
-    ++runs;
-    if (r.cache_hit) {
-        // Cached runs carry the original synthesis's statistics for
-        // Table 1, but no time was spent re-deriving them; folding
-        // them in would double-count effort.
-        ++cache_hits;
-        return;
-    }
-    accumulate(lift_update, r.lift.update);
-    accumulate(lift_replace, r.lift.replace);
-    accumulate(lift_extend, r.lift.extend);
-    accumulate(sketch, r.lower.sketch);
-    swizzle.queries += r.lower.swizzle.queries;
-    swizzle.solved += r.lower.swizzle.solved;
-    swizzle.unsat += r.lower.swizzle.unsat;
-    swizzle.memo_hits += r.lower.swizzle.memo_hits;
-    swizzle.seconds += r.lower.swizzle.seconds;
-    backtracks += r.lower.backtracks;
+    add_run(*this, r);
+}
+
+void
+SynthProfile::add(const BackendRakeResult &r)
+{
+    add_run(*this, r);
 }
 
 void

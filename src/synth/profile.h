@@ -37,6 +37,9 @@ struct SynthProfile {
     /** Fold one synthesis result into the profile. */
     void add(const RakeResult &r);
 
+    /** Same, for a backend-parameterized run (no proof stage). */
+    void add(const BackendRakeResult &r);
+
     /** Fold another profile in (drivers aggregate across benchmarks). */
     void merge(const SynthProfile &o);
 

@@ -47,6 +47,36 @@ synthesize(const hir::ExprPtr &expr, const hir::ExprPtr &normalized,
     return result;
 }
 
+/** The backend-parameterized two-stage synthesis, uncached. */
+std::optional<BackendRakeResult>
+synthesize_for(const hir::ExprPtr &normalized, backend::TargetISA &isa,
+               const RakeOptions &opts)
+{
+    Spec spec = Spec::from_expr(normalized);
+    ExamplePool pool(spec, opts.seed);
+    Verifier verifier(spec, pool, opts.verifier);
+
+    BackendRakeResult result;
+
+    // Stage 1: lift to the Uber-Instruction IR (Algorithm 1) — shared
+    // across every target, the §6 retargeting claim.
+    LiftResult lifted = lift_to_uir(verifier);
+    result.lifted = lifted.expr;
+    result.lift = lifted.stats;
+    if (!lifted.expr)
+        return std::nullopt;
+
+    // Stages 2+3 through the backend's grammar, swizzle repertoire,
+    // and cost model (Algorithm 2).
+    auto lowered = lower_with_backend(verifier, lifted.expr, isa,
+                                      opts.lower);
+    if (!lowered)
+        return std::nullopt;
+    result.instr = lowered->instr;
+    result.lower = lowered->stats;
+    return result;
+}
+
 } // namespace
 
 std::optional<RakeResult>
@@ -79,6 +109,44 @@ select_instructions(const hir::ExprPtr &expr, const RakeOptions &opts)
     std::optional<RakeResult> result;
     try {
         result = synthesize(expr, normalized, opts);
+    } catch (...) {
+        cache.publish(entry, std::nullopt);
+        throw;
+    }
+    cache.publish(entry, result);
+    return result;
+}
+
+std::optional<BackendRakeResult>
+select_instructions_for(const hir::ExprPtr &expr, backend::TargetISA &isa,
+                        const RakeOptions &opts)
+{
+    RAKE_USER_CHECK(expr != nullptr, "null expression");
+
+    hir::ExprPtr normalized = hir::simplify(expr);
+
+    if (!opts.use_cache)
+        return synthesize_for(normalized, isa, opts);
+
+    // One table per backend name; the backend name is also folded
+    // into the fingerprint so a rename never aliases stale entries.
+    const std::string backend = isa.name();
+    BackendSynthCache &cache = backend_synthesis_cache(backend);
+    const uint64_t fp = detail::cache_mix(
+        options_fingerprint(opts), std::hash<std::string>()(backend));
+    bool owner = false;
+    BackendSynthCache::EntryPtr entry =
+        cache.acquire(normalized, fp, &owner);
+    if (!owner) {
+        std::optional<BackendRakeResult> cached = entry->result;
+        if (cached)
+            cached->cache_hit = true;
+        return cached;
+    }
+
+    std::optional<BackendRakeResult> result;
+    try {
+        result = synthesize_for(normalized, isa, opts);
     } catch (...) {
         cache.publish(entry, std::nullopt);
         throw;

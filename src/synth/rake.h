@@ -54,6 +54,36 @@ std::optional<RakeResult> select_instructions(const hir::ExprPtr &expr,
                                               const RakeOptions &opts
                                               = {});
 
+/**
+ * A backend-parameterized run: the same lift + lower stages, with
+ * the selected implementation type-erased behind the backend's
+ * instruction handle.
+ */
+struct BackendRakeResult {
+    backend::InstrHandle instr;  ///< selected implementation
+    uir::UExprPtr lifted;        ///< intermediate Uber-Instruction IR
+    LiftStats lift;              ///< Table 1: lifting columns
+    LowerStats lower;            ///< Table 1: sketch + swizzle columns
+
+    /** See RakeResult::cache_hit. */
+    bool cache_hit = false;
+};
+
+/**
+ * Instruction selection through an explicit target backend: lift with
+ * the shared stage, lower through the backend's sketch grammar,
+ * swizzle repertoire, and cost model. `isa` carries per-run state and
+ * must outlive the call.
+ *
+ * Two RakeOptions fields do not apply here: `target` (the backend
+ * brings its own machine model) and `z3_prove` (the SMT encoding is
+ * HVX-typed; generic results are verified by CEGIS only). Both are
+ * ignored. Results are cached per TargetISA::name().
+ */
+std::optional<BackendRakeResult>
+select_instructions_for(const hir::ExprPtr &expr, backend::TargetISA &isa,
+                        const RakeOptions &opts = {});
+
 } // namespace rake::synth
 
 #endif // RAKE_SYNTH_RAKE_H

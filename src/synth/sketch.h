@@ -36,7 +36,7 @@ class SketchBuilder
     /** New hole of `type` requiring `cells` over `sources`. */
     hvx::InstrPtr
     hole(VecType type, Arrangement cells,
-         std::vector<hvx::InstrPtr> sources = {})
+         std::vector<backend::InstrHandle> sources = {})
     {
         RAKE_CHECK(static_cast<int>(cells.size()) == type.lanes,
                    "hole arrangement size mismatch: "

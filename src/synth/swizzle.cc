@@ -139,8 +139,14 @@ hvx::InstrPtr
 SwizzleSolver::solve(const Hole &hole, int budget)
 {
     const double t0 = now_seconds();
-    auto result = search(hole.cells, hole.type.elem, hole.sources,
-                         budget);
+    // Hole sources are type-erased backend handles; this solver is
+    // the HVX repertoire, so they must be hvx::Instr nodes.
+    std::vector<hvx::InstrPtr> sources;
+    sources.reserve(hole.sources.size());
+    for (const auto &s : hole.sources)
+        sources.push_back(
+            std::static_pointer_cast<const hvx::Instr>(s));
+    auto result = search(hole.cells, hole.type.elem, sources, budget);
     stats_.seconds += now_seconds() - t0;
     if (!result) {
         ++stats_.unsat;

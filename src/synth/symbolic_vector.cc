@@ -158,8 +158,6 @@ Value
 arrangement_value(const Hole &hole, const Env &env,
                   const hvx::HoleOracle &oracle)
 {
-    RAKE_CHECK(static_cast<int>(hole.cells.size()) == hole.type.lanes,
-               "hole arrangement size mismatch");
     // Evaluate the sources once for this environment. Pure ??load /
     // zero holes (the common case) skip the interpreter entirely.
     std::vector<Value> src_values;
@@ -167,9 +165,18 @@ arrangement_value(const Hole &hole, const Env &env,
         src_values.reserve(hole.sources.size());
         hvx::Interpreter interp(env, oracle);
         for (const auto &s : hole.sources)
-            src_values.push_back(interp.eval(s));
+            src_values.push_back(interp.eval(
+                std::static_pointer_cast<const hvx::Instr>(s)));
     }
+    return arrangement_value_from(hole, env, src_values);
+}
 
+Value
+arrangement_value_from(const Hole &hole, const Env &env,
+                       const std::vector<Value> &src_values)
+{
+    RAKE_CHECK(static_cast<int>(hole.cells.size()) == hole.type.lanes,
+               "hole arrangement size mismatch");
     Value v = Value::zero(hole.type);
     for (int i = 0; i < hole.type.lanes; ++i) {
         const Cell &c = hole.cells[i];

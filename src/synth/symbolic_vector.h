@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/instr_handle.h"
 #include "base/value.h"
 #include "hvx/instr.h"
 #include "hvx/interp.h"
@@ -123,12 +124,14 @@ bool is_source_identity(const Arrangement &a, int *source);
 
 /**
  * A sketch hole: required type + arrangement + the lowered values
- * that Src cells reference.
+ * that Src cells reference. Sources are type-erased backend handles
+ * (a backend's own InstrPtr converts implicitly); only the owning
+ * backend evaluates or inspects them.
  */
 struct Hole {
     VecType type;
     Arrangement cells;
-    std::vector<hvx::InstrPtr> sources;
+    std::vector<backend::InstrHandle> sources;
 };
 
 /**
@@ -136,10 +139,20 @@ struct Hole {
  * environment (this is the "symbolic vector concretization" used for
  * sketch validity, §4.1). Sources may themselves contain nested holes
  * (a ??swizzle over a sketch subtree), so source evaluation threads
- * the same oracle through.
+ * the same oracle through. HVX-flavoured: sources must be
+ * hvx::InstrPtr handles.
  */
 Value arrangement_value(const Hole &hole, const Env &env,
                         const hvx::HoleOracle &oracle = nullptr);
+
+/**
+ * Backend-independent lane assembly: concretize the arrangement given
+ * the already-evaluated source values (src_values[i] is the value of
+ * hole.sources[i]). Backends call this from their hole_value() after
+ * running their own interpreter over the sources.
+ */
+Value arrangement_value_from(const Hole &hole, const Env &env,
+                             const std::vector<Value> &src_values);
 
 } // namespace rake::synth
 

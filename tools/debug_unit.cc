@@ -1,44 +1,120 @@
+/**
+ * @file
+ * Focused synthesis repros, runnable against either backend:
+ *
+ *   debug_unit [--target hvx|neon] [--greedy]
+ *
+ * Probes the shapes that historically regressed — the conv3x3a32
+ * inner sum, scalar-weight chains of increasing length, and the
+ * 3-tap widening convolution — printing the selected listing and its
+ * cost so a change in selection is immediately visible.
+ */
 #include <iostream>
+
 #include "hir/builder.h"
-#include "hir/printer.h"
+#include "hvx/cost.h"
 #include "hvx/printer.h"
-#include "uir/printer.h"
-#include "hir/simplify.h"
+#include "neon/cost.h"
+#include "neon/select.h"
+#include "pipeline/report.h"
 #include "synth/rake.h"
+
 using namespace rake;
 using namespace rake::hir;
-int main() {
+
+namespace {
+
+struct Probe {
+    std::string name;
+    ExprPtr expr;
+};
+
+std::vector<Probe>
+probes()
+{
     const int L = 128;
-    auto t2 = [&](int dx, int dy, int w) {
-        return cast(ScalarType::Int32, cast(ScalarType::Int16, load(0, ScalarType::UInt8, L, dx, dy))) * w;
+    auto ld = [&](int dx, int dy) {
+        return load(0, ScalarType::UInt8, L, dx, dy);
     };
-    auto t = [&](int dx, int w) { return t2(dx, 0, w); };
+    auto w16 = [&](HExpr e) { return cast(ScalarType::UInt16, e); };
+    auto t2 = [&](int dx, int dy, int w) {
+        return cast(ScalarType::Int32,
+                    cast(ScalarType::Int16, ld(dx, dy))) *
+               w;
+    };
+
+    std::vector<Probe> out;
+
+    // Full conv3x3a32 inner sum.
     {
-        // full conv3x3a32 inner sum
         const int w[3][3] = {{1, -2, 1}, {-2, 12, -2}, {1, -2, 1}};
         HExpr sum;
         for (int dy = -1; dy <= 1; ++dy)
             for (int dx = -1; dx <= 1; ++dx) {
-                HExpr term = t2(dx, dy, w[dy+1][dx+1] * 37);
+                HExpr term = t2(dx, dy, w[dy + 1][dx + 1] * 37);
                 sum = sum.defined() ? sum + term : term;
             }
-        synth::RakeOptions opts;
-        auto r = synth::select_instructions(sum.ptr(), opts);
-        std::cout << "conv9: " << (r ? "OK" : "FAILED") << "\n";
-        if (r) std::cout << hvx::to_listing(r->instr);
+        out.push_back({"conv9", sum.ptr()});
     }
-    for (auto weights : std::vector<std::vector<int>>{{1,444}, {37,-74}, {37,-74,444}, {37,-74,37,-74,444}}) {
+
+    // Scalar-weight chains of increasing length.
+    for (auto weights : std::vector<std::vector<int>>{
+             {1, 444}, {37, -74}, {37, -74, 444}, {37, -74, 37, -74, 444}}) {
         HExpr sum;
         int dx = 0;
         for (int w : weights) {
-            HExpr term = t(dx++, w);
+            HExpr term = t2(dx++, 0, w);
             sum = sum.defined() ? sum + term : term;
         }
-        synth::RakeOptions opts;
-        auto r = synth::select_instructions(sum.ptr(), opts);
-        std::cout << "weights n=" << weights.size() << ": "
-                  << (r ? "OK" : "FAILED") << "\n";
-        if (r) std::cout << hvx::to_listing(r->instr);
+        out.push_back(
+            {"weights n=" + std::to_string(weights.size()), sum.ptr()});
     }
-    return 0;
+
+    // 3-tap widening convolution (the old debug_unit2 repro).
+    out.push_back({"widening conv3",
+                   (w16(ld(-1, -1)) + w16(ld(-1, 0)) * 2 +
+                    w16(ld(-1, 1)))
+                       .ptr()});
+
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const pipeline::BenchArgs args =
+        pipeline::parse_bench_args(argc, argv);
+
+    int failures = 0;
+    for (const Probe &p : probes()) {
+        std::cout << "=== " << p.name << " (" << args.target
+                  << (args.greedy ? ", greedy" : "") << ")\n";
+        if (args.target == "hvx") {
+            synth::RakeOptions opts;
+            auto r = synth::select_instructions(p.expr, opts);
+            if (!r) {
+                std::cout << "FAILED\n";
+                ++failures;
+                continue;
+            }
+            std::cout << hvx::to_listing(r->instr)
+                      << to_string(hvx::cost_of(r->instr, opts.target))
+                      << "\n";
+        } else {
+            neon::SelectOptions opts;
+            opts.greedy = args.greedy;
+            auto n = neon::select_instructions(p.expr, opts);
+            if (!n) {
+                std::cout << "FAILED\n";
+                ++failures;
+                continue;
+            }
+            std::cout << neon::to_listing(*n)
+                      << to_string(neon::cost_of(*n, neon::Target{}))
+                      << "\n";
+        }
+    }
+    return failures == 0 ? 0 : 1;
 }
