@@ -1,0 +1,72 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "hir/printer.h"
+#include "hir/sexpr.h"
+#include "support/error.h"
+
+namespace rake::fuzz {
+
+namespace fs = std::filesystem;
+
+CorpusEntry
+load_corpus_file(const std::string &path)
+{
+    std::ifstream in(path);
+    RAKE_USER_CHECK(in.good(), "cannot open corpus file " << path);
+
+    CorpusEntry entry;
+    entry.path = path;
+    std::ostringstream body;
+    std::string line;
+    while (std::getline(in, line)) {
+        const size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
+            continue;
+        if (line[first] == ';') {
+            size_t text = line.find_first_not_of("; \t", first);
+            entry.notes.push_back(
+                text == std::string::npos ? "" : line.substr(text));
+            continue;
+        }
+        body << line << '\n';
+    }
+    entry.expr = hir::parse_expr(body.str());
+    return entry;
+}
+
+std::vector<CorpusEntry>
+load_corpus(const std::string &dir)
+{
+    RAKE_USER_CHECK(fs::is_directory(dir),
+                    "corpus directory not found: " << dir);
+    std::vector<std::string> paths;
+    for (const fs::directory_entry &de : fs::directory_iterator(dir)) {
+        if (de.is_regular_file())
+            paths.push_back(de.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    std::vector<CorpusEntry> entries;
+    entries.reserve(paths.size());
+    for (const std::string &p : paths)
+        entries.push_back(load_corpus_file(p));
+    return entries;
+}
+
+void
+write_corpus_file(const std::string &path, const hir::ExprPtr &expr,
+                  const std::vector<std::string> &notes)
+{
+    std::ofstream out(path);
+    RAKE_USER_CHECK(out.good(), "cannot write corpus file " << path);
+    for (const std::string &n : notes)
+        out << "; " << n << '\n';
+    out << hir::to_sexpr(expr) << '\n';
+    RAKE_USER_CHECK(out.good(), "short write to corpus file " << path);
+}
+
+} // namespace rake::fuzz

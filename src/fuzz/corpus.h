@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproducer corpus: every bug the fuzzer ever finds becomes a file,
+ * and every file becomes a permanent regression test.
+ *
+ * A corpus entry is a plain-text file: `;`-prefixed note lines (the
+ * seed, the oracle that fired, the divergence detail — everything
+ * needed to regenerate the original failure from scratch) followed by
+ * one HIR s-expression, usually the minimizer's output. The replay
+ * harness (tests/test_fuzz_corpus.cc) loads a directory of entries
+ * and runs the full oracle lattice over each.
+ */
+#ifndef RAKE_FUZZ_CORPUS_H
+#define RAKE_FUZZ_CORPUS_H
+
+#include <string>
+#include <vector>
+
+#include "hir/expr.h"
+
+namespace rake::fuzz {
+
+/** One reproducer on disk. */
+struct CorpusEntry {
+    std::string path;               ///< file it was loaded from / written to
+    hir::ExprPtr expr;              ///< the parsed expression
+    std::vector<std::string> notes; ///< `;` header lines, prefix stripped
+};
+
+/** Parse one reproducer file; throws UserError on malformed input. */
+CorpusEntry load_corpus_file(const std::string &path);
+
+/**
+ * Load every regular file in `dir` (sorted by filename so replay
+ * order is stable). Throws UserError when the directory is missing.
+ */
+std::vector<CorpusEntry> load_corpus(const std::string &dir);
+
+/** Write a reproducer. Notes are emitted as `; ` comment lines. */
+void write_corpus_file(const std::string &path, const hir::ExprPtr &expr,
+                       const std::vector<std::string> &notes);
+
+} // namespace rake::fuzz
+
+#endif // RAKE_FUZZ_CORPUS_H

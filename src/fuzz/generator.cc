@@ -1,0 +1,189 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+
+#include "base/arith.h"
+#include "support/error.h"
+
+namespace rake::fuzz {
+
+namespace {
+
+/**
+ * Buffer convention shared with the test suite's environments: buffer
+ * 0 holds u8 data, buffer 1 holds u16 data. Loads of any other
+ * element type go through a wrapping cast of one of these, which is
+ * exactly how the lowered Halide kernels the paper intercepts widen
+ * their inputs.
+ */
+constexpr int kU8Buffer = 0;
+constexpr int kU16Buffer = 1;
+
+} // namespace
+
+uint64_t
+program_seed(uint64_t base, int index)
+{
+    // splitmix64 finalizer over (base, index): adjacent indices land
+    // far apart, and the result depends only on the pair — never on
+    // which worker asks or in what order.
+    uint64_t z = base + 0x9e3779b97f4a7c15ull *
+                            (static_cast<uint64_t>(index) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+Generator::Generator(const GenOptions &opts) : opts_(opts)
+{
+    RAKE_USER_CHECK(!opts_.elems.empty(),
+                    "fuzz generator needs at least one element type");
+    RAKE_USER_CHECK(opts_.lanes >= 2 && opts_.lanes % 2 == 0,
+                    "fuzz generator lanes must be even and >= 2");
+}
+
+hir::ExprPtr
+Generator::generate(uint64_t seed) const
+{
+    Rng rng(seed);
+    return vec_expr(rng, pick_elem(rng), opts_.max_depth);
+}
+
+ScalarType
+Generator::pick_elem(Rng &rng) const
+{
+    return opts_.elems[static_cast<size_t>(
+        rng.range(0, static_cast<int64_t>(opts_.elems.size()) - 1))];
+}
+
+hir::ExprPtr
+Generator::leaf(Rng &rng, ScalarType elem) const
+{
+    using hir::Expr;
+    const GenWeights &w = opts_.weights;
+    const VecType t(elem, opts_.lanes);
+    const int64_t total = w.leaf_load + w.leaf_const + w.leaf_var;
+    int64_t pick = rng.range(0, std::max<int64_t>(total, 1) - 1);
+
+    if ((pick -= w.leaf_load) < 0) {
+        // A strided load; narrow dx/dy window so example-buffer
+        // geometry stays small no matter how many loads compose.
+        const hir::LoadRef ref{
+            bits(elem) == 8 ? kU8Buffer : kU16Buffer,
+            static_cast<int>(rng.range(-3, 3)),
+            static_cast<int>(rng.range(-1, 1))};
+        const ScalarType loaded =
+            ref.buffer == kU8Buffer ? ScalarType::UInt8
+                                    : ScalarType::UInt16;
+        hir::ExprPtr l =
+            Expr::make_load(ref, VecType(loaded, opts_.lanes));
+        if (loaded != elem)
+            l = Expr::make_cast(elem, l);
+        return l;
+    }
+    if ((pick -= w.leaf_const) < 0) {
+        // Mostly small constants (the weights/offsets real kernels
+        // carry), occasionally a type-boundary value.
+        int64_t v;
+        switch (rng.range(0, 5)) {
+          case 0:
+            v = max_value(elem);
+            break;
+          case 1:
+            v = min_value(elem);
+            break;
+          default:
+            v = rng.range(-32, 32);
+            break;
+        }
+        return Expr::make_const(wrap(elem, v), t);
+    }
+    // The one scalar parameter, broadcast across the lanes (matches
+    // the environments the example pool builds for "v").
+    hir::ExprPtr v = Expr::make_broadcast(
+        Expr::make_var("v", VecType(ScalarType::Int16, 1)),
+        opts_.lanes);
+    if (v->type().elem != elem)
+        v = Expr::make_cast(elem, v);
+    return v;
+}
+
+hir::ExprPtr
+Generator::vec_expr(Rng &rng, ScalarType elem, int depth) const
+{
+    using hir::Expr;
+    using hir::Op;
+    if (depth <= 0)
+        return leaf(rng, elem);
+
+    const GenWeights &w = opts_.weights;
+    const VecType t(elem, opts_.lanes);
+    auto sub = [&]() { return vec_expr(rng, elem, depth - 1); };
+
+    const int64_t total = w.add + w.sub + w.mul_const + w.mul + w.min +
+                          w.max + w.absd + w.shift_left +
+                          w.shift_right + w.bit_and + w.bit_or +
+                          w.bit_xor + w.bit_not + w.select + w.cast;
+    int64_t pick = rng.range(0, std::max<int64_t>(total, 1) - 1);
+
+    if ((pick -= w.add) < 0)
+        return Expr::make(Op::Add, {sub(), sub()});
+    if ((pick -= w.sub) < 0)
+        return Expr::make(Op::Sub, {sub(), sub()});
+    if ((pick -= w.mul_const) < 0)
+        return Expr::make(
+            Op::Mul, {sub(), Expr::make_const(rng.range(-8, 8), t)});
+    if ((pick -= w.mul) < 0)
+        return Expr::make(Op::Mul, {sub(), sub()});
+    if ((pick -= w.min) < 0)
+        return Expr::make(Op::Min, {sub(), sub()});
+    if ((pick -= w.max) < 0)
+        return Expr::make(Op::Max, {sub(), sub()});
+    if ((pick -= w.absd) < 0)
+        return Expr::make(Op::AbsDiff, {sub(), sub()});
+    if ((pick -= w.shift_left) < 0)
+        return Expr::make(
+            Op::ShiftLeft,
+            {sub(), Expr::make_const(
+                        rng.range(0, std::min(bits(elem) - 1, 4)), t)});
+    if ((pick -= w.shift_right) < 0)
+        return Expr::make(
+            Op::ShiftRight,
+            {sub(), Expr::make_const(
+                        rng.range(0, std::min(bits(elem) - 1, 7)), t)});
+    if ((pick -= w.bit_and) < 0)
+        return Expr::make(Op::And, {sub(), sub()});
+    if ((pick -= w.bit_or) < 0)
+        return Expr::make(Op::Or, {sub(), sub()});
+    if ((pick -= w.bit_xor) < 0)
+        return Expr::make(Op::Xor, {sub(), sub()});
+    if ((pick -= w.bit_not) < 0)
+        return Expr::make(Op::Not, {sub()});
+    if ((pick -= w.select) < 0) {
+        hir::ExprPtr cond;
+        switch (rng.range(0, 2)) {
+          case 0:
+            cond = Expr::make(Op::Lt, {sub(), sub()});
+            break;
+          case 1:
+            cond = Expr::make(Op::Le, {sub(), sub()});
+            break;
+          default:
+            cond = Expr::make(Op::Eq, {sub(), sub()});
+            break;
+        }
+        return Expr::make(Op::Select, {cond, sub(), sub()});
+    }
+    // Cast production: compute in a neighbouring width, then wrap
+    // back — the widen/accumulate/narrow shape every benchmark
+    // kernel is built from.
+    ScalarType via = rng.chance(1, 2) ? widen(elem) : narrow(elem);
+    if (via == elem)
+        via = pick_elem(rng);
+    if (via == elem)
+        return Expr::make(Op::Add, {sub(), sub()});
+    return Expr::make_cast(elem,
+                           vec_expr(rng, via, depth - 1));
+}
+
+} // namespace rake::fuzz

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Seeded, typed random generator for lowered HIR vector expressions.
+ *
+ * The generator draws from the same operator/type/lane-width surface
+ * hir::Builder exposes — strided loads, broadcast scalars, wrapping
+ * casts, the full lane-wise ALU, comparisons and selects — so every
+ * generated program is a legal input to the synthesis pipeline, not
+ * just to the interpreter. Production rules are weighted and
+ * depth-bounded; all randomness flows through the seeded Rng, so a
+ * (options, seed) pair identifies one program forever (the corpus
+ * workflow and the --jobs determinism guarantee both rely on this).
+ */
+#ifndef RAKE_FUZZ_GENERATOR_H
+#define RAKE_FUZZ_GENERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hir/expr.h"
+#include "support/rng.h"
+
+namespace rake::fuzz {
+
+/**
+ * Weighted production rules. A weight of 0 removes the production;
+ * relative magnitudes set how often each operator appears. The
+ * defaults skew toward the fixed-point arithmetic the backends can
+ * actually map (add/sub/mul/min/max/absd/shifts/casts) with a thin
+ * tail of bitwise and predicated shapes.
+ */
+struct GenWeights {
+    // Interior productions.
+    int add = 6;
+    int sub = 4;
+    int mul_const = 4;  ///< x * small-constant (the lifting-friendly form)
+    int mul = 1;        ///< x * y, both sides full expressions
+    int min = 2;
+    int max = 2;
+    int absd = 2;
+    int shift_left = 1;
+    int shift_right = 3;
+    int bit_and = 1;
+    int bit_or = 1;
+    int bit_xor = 1;
+    int bit_not = 1;
+    int select = 1;     ///< select(cmp(a, b), c, d)
+    int cast = 4;       ///< widen/narrow via a wrapping cast
+    // Leaf productions.
+    int leaf_load = 5;
+    int leaf_const = 3;
+    int leaf_var = 1;
+};
+
+/** Shape knobs for one generator instance. */
+struct GenOptions {
+    int max_depth = 3; ///< interior-node depth bound
+    int lanes = 16;    ///< lane count of every vector in the program
+    /** Element types the generator roots programs at and casts through. */
+    std::vector<ScalarType> elems = {
+        ScalarType::UInt8, ScalarType::Int16, ScalarType::UInt16,
+        ScalarType::Int32};
+    GenWeights weights;
+};
+
+/**
+ * Derive the seed of program `index` in the stream rooted at `base`.
+ * Pure mixing, no shared state: workers can generate any subset of a
+ * stream in any order and byte-identical programs come out.
+ */
+uint64_t program_seed(uint64_t base, int index);
+
+/** See the file comment. */
+class Generator
+{
+  public:
+    explicit Generator(const GenOptions &opts = {});
+
+    /** The one program identified by `seed` (deterministic). */
+    hir::ExprPtr generate(uint64_t seed) const;
+
+  private:
+    hir::ExprPtr vec_expr(Rng &rng, ScalarType elem, int depth) const;
+    hir::ExprPtr leaf(Rng &rng, ScalarType elem) const;
+    ScalarType pick_elem(Rng &rng) const;
+
+    GenOptions opts_;
+};
+
+} // namespace rake::fuzz
+
+#endif // RAKE_FUZZ_GENERATOR_H

@@ -1,0 +1,177 @@
+#include "fuzz/minimize.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "hir/printer.h"
+#include "hir/sexpr.h"
+#include "support/error.h"
+
+namespace rake::fuzz {
+
+namespace {
+
+using hir::Expr;
+using hir::ExprPtr;
+using hir::Op;
+
+/** Rebuild `e` with new argument vector (same op and payload). */
+ExprPtr
+with_args(const ExprPtr &e, std::vector<ExprPtr> args)
+{
+    switch (e->op()) {
+      case Op::Load:
+      case Op::Const:
+      case Op::Var:
+        return e;
+      case Op::Cast:
+        return Expr::make_cast(e->type().elem, std::move(args[0]));
+      case Op::Broadcast:
+        return Expr::make_broadcast(std::move(args[0]),
+                                    e->type().lanes);
+      default:
+        return Expr::make(e->op(), std::move(args));
+    }
+}
+
+/** Total |const| over the tree — the tiebreak shrinking measure. */
+int64_t
+const_weight(const ExprPtr &e)
+{
+    int64_t w = 0;
+    if (e->op() == Op::Const) {
+        // Magnitude via uint64 so INT64_MIN cannot overflow, capped
+        // so the per-tree sum stays far from int64 limits.
+        const int64_t v = e->const_value();
+        const uint64_t mag =
+            v < 0 ? uint64_t{0} - static_cast<uint64_t>(v)
+                  : static_cast<uint64_t>(v);
+        w += static_cast<int64_t>(
+            std::min<uint64_t>(mag, uint64_t{1} << 32));
+    }
+    for (const ExprPtr &a : e->args())
+        w += const_weight(a);
+    return w;
+}
+
+/** (node_count, const_weight): accepted reductions strictly decrease it. */
+struct Measure {
+    int nodes;
+    int64_t weight;
+
+    bool
+    operator<(const Measure &o) const
+    {
+        if (nodes != o.nodes)
+            return nodes < o.nodes;
+        return weight < o.weight;
+    }
+};
+
+Measure
+measure_of(const ExprPtr &e)
+{
+    return Measure{e->node_count(), const_weight(e)};
+}
+
+/** Every proper descendant of `e` with exactly the given type. */
+void
+same_typed_descendants(const ExprPtr &e, const VecType &t,
+                       std::vector<ExprPtr> &out)
+{
+    for (const ExprPtr &a : e->args()) {
+        if (a->type() == t)
+            out.push_back(a);
+        same_typed_descendants(a, t, out);
+    }
+}
+
+/** Local replacement proposals for one node (smaller-first later). */
+std::vector<ExprPtr>
+replacements_for(const ExprPtr &node)
+{
+    std::vector<ExprPtr> out;
+    same_typed_descendants(node, node->type(), out);
+    if (node->op() == Op::Const) {
+        const int64_t v = node->const_value();
+        for (int64_t next : {int64_t{0}, int64_t{1}, v / 2}) {
+            if (next != v)
+                out.push_back(Expr::make_const(next, node->type()));
+        }
+    } else {
+        out.push_back(Expr::make_const(0, node->type()));
+        out.push_back(Expr::make_const(1, node->type()));
+    }
+    return out;
+}
+
+/**
+ * All single-splice candidates of the whole tree: for every node,
+ * every local replacement, rebuilt into a full expression. `splice`
+ * embeds a replacement of the current node into the root.
+ */
+void
+collect_candidates(const ExprPtr &node,
+                   const std::function<ExprPtr(ExprPtr)> &splice,
+                   std::vector<ExprPtr> &out)
+{
+    for (ExprPtr &r : replacements_for(node))
+        out.push_back(splice(std::move(r)));
+    for (int i = 0; i < node->num_args(); ++i) {
+        auto child_splice = [&node, &splice, i](ExprPtr r) {
+            std::vector<ExprPtr> args = node->args();
+            args[static_cast<size_t>(i)] = std::move(r);
+            return splice(with_args(node, std::move(args)));
+        };
+        collect_candidates(node->arg(i), child_splice, out);
+    }
+}
+
+} // namespace
+
+ExprPtr
+minimize(const ExprPtr &expr, const FailurePredicate &still_fails,
+         MinimizeStats *stats, int max_attempts)
+{
+    RAKE_CHECK(expr != nullptr, "minimize of null expression");
+    MinimizeStats local;
+    MinimizeStats &st = stats ? *stats : local;
+
+    // Anchor on the round-tripped form: the reproducer file replays
+    // parse_expr(to_sexpr(result)), so that is what gets minimized.
+    ExprPtr current = hir::parse_expr(hir::to_sexpr(expr));
+    Measure best = measure_of(current);
+
+    bool progress = true;
+    while (progress && st.attempts < max_attempts) {
+        progress = false;
+        std::vector<ExprPtr> candidates;
+        collect_candidates(current, [](ExprPtr r) { return r; },
+                           candidates);
+        // Most aggressive shrink first: fewer predicate runs (each
+        // may be a full synthesis query) on the way down.
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [](const ExprPtr &a, const ExprPtr &b) {
+                             return measure_of(a) < measure_of(b);
+                         });
+        for (const ExprPtr &cand : candidates) {
+            if (st.attempts >= max_attempts)
+                break;
+            if (!(measure_of(cand) < best))
+                continue; // not a strict reduction (or a repeat)
+            ExprPtr round_tripped = hir::parse_expr(hir::to_sexpr(cand));
+            ++st.attempts;
+            if (!still_fails(round_tripped))
+                continue;
+            ++st.accepted;
+            current = std::move(round_tripped);
+            best = measure_of(current);
+            progress = true;
+            break; // restart candidate enumeration from the new tree
+        }
+    }
+    return current;
+}
+
+} // namespace rake::fuzz

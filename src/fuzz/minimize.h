@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Delta-debugging minimizer for divergent HIR expressions.
+ *
+ * Given an expression on which some predicate fails (an oracle
+ * divergence, a crash), greedily shrink it while the predicate keeps
+ * failing. Reductions are type-preserving by construction — replace a
+ * node by a same-typed descendant, collapse a subtree to a constant,
+ * shrink constant magnitudes — so every intermediate candidate is a
+ * well-formed expression the oracles accept as input.
+ *
+ * Every accepted candidate is passed through the s-expression
+ * round-trip first (parse_expr(to_sexpr(c))): what the minimizer
+ * returns is exactly what a reproducer file will replay, never an
+ * in-memory artifact the printer cannot represent.
+ */
+#ifndef RAKE_FUZZ_MINIMIZE_H
+#define RAKE_FUZZ_MINIMIZE_H
+
+#include <functional>
+
+#include "hir/expr.h"
+
+namespace rake::fuzz {
+
+/** True when the candidate still exhibits the failure. */
+using FailurePredicate = std::function<bool(const hir::ExprPtr &)>;
+
+/** Instrumentation for logs and tests. */
+struct MinimizeStats {
+    int attempts = 0; ///< candidates tried against the predicate
+    int accepted = 0; ///< candidates that kept the failure alive
+};
+
+/**
+ * Shrink `expr` to a (local) minimum under `still_fails`. The
+ * predicate is assumed true on `expr` itself; the result is the last
+ * round-tripped candidate on which it held. `max_attempts` bounds
+ * total predicate evaluations (each may run full synthesis).
+ */
+hir::ExprPtr minimize(const hir::ExprPtr &expr,
+                      const FailurePredicate &still_fails,
+                      MinimizeStats *stats = nullptr,
+                      int max_attempts = 2000);
+
+} // namespace rake::fuzz
+
+#endif // RAKE_FUZZ_MINIMIZE_H

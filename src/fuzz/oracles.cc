@@ -1,0 +1,192 @@
+#include "fuzz/oracles.h"
+
+#include <sstream>
+#include <vector>
+
+#include "hir/interp.h"
+#include "hir/printer.h"
+#include "hir/sexpr.h"
+#include "hir/simplify.h"
+#include "hvx/interp.h"
+#include "neon/select.h"
+#include "support/error.h"
+#include "synth/rake.h"
+#include "synth/spec.h"
+
+namespace rake::fuzz {
+
+namespace {
+
+/** First lane where two values differ, or -1 when equal. */
+int
+first_mismatch(const Value &a, const Value &b)
+{
+    if (a.type != b.type)
+        return 0;
+    for (int i = 0; i < a.type.lanes; ++i) {
+        if (a.lanes[i] != b.lanes[i])
+            return i;
+    }
+    return -1;
+}
+
+std::string
+mismatch_detail(const std::string &what, int env_index, const Value &got,
+                const Value &want)
+{
+    std::ostringstream os;
+    const int lane = first_mismatch(got, want);
+    os << what << " diverges on env " << env_index << " lane " << lane
+       << ": got " << (lane >= 0 ? got.lanes[lane] : 0) << ", want "
+       << (lane >= 0 ? want.lanes[lane] : 0);
+    return os.str();
+}
+
+/** The documented injected bug: swap the operands of the first Sub. */
+hir::ExprPtr
+swap_first_sub(const hir::ExprPtr &e, bool *swapped)
+{
+    using hir::Expr;
+    using hir::Op;
+    if (*swapped || e->num_args() == 0)
+        return e;
+    if (e->op() == Op::Sub) {
+        *swapped = true;
+        return Expr::make(Op::Sub, {e->arg(1), e->arg(0)});
+    }
+    std::vector<hir::ExprPtr> args;
+    args.reserve(e->args().size());
+    bool changed = false;
+    for (const hir::ExprPtr &a : e->args()) {
+        hir::ExprPtr na = swap_first_sub(a, swapped);
+        changed |= na != a;
+        args.push_back(std::move(na));
+    }
+    if (!changed)
+        return e;
+    switch (e->op()) {
+      case Op::Cast:
+        return Expr::make_cast(e->type().elem, args[0]);
+      case Op::Broadcast:
+        return Expr::make_broadcast(args[0], e->type().lanes);
+      default:
+        return Expr::make(e->op(), std::move(args));
+    }
+}
+
+} // namespace
+
+CheckResult
+check_expr(const hir::ExprPtr &e, const OracleOptions &opts)
+{
+    CheckResult res;
+    auto fail = [&](std::string oracle, std::string detail,
+                    bool crash = false) {
+        res.divergence = Divergence{std::move(oracle), std::move(detail),
+                                    crash};
+        return res;
+    };
+    std::string stage = "sexpr";
+    try {
+        // Oracle 0: the round-trip every reproducer file depends on.
+        hir::ExprPtr parsed = hir::parse_expr(hir::to_sexpr(e));
+        if (!hir::equal(parsed, e))
+            return fail("sexpr",
+                        "print -> parse is not structurally identical");
+        if (hir::to_sexpr(parsed) != hir::to_sexpr(e))
+            return fail("sexpr", "print -> parse -> print not a fixpoint");
+
+        // Shared example environments (the spec's corner + random
+        // pool, the same distribution CEGIS verifies against).
+        stage = "examples";
+        synth::Spec spec = synth::Spec::from_expr(e);
+        synth::ExamplePool pool(spec, opts.env_seed);
+        // Copy the environments out: ExamplePool::at() grows an
+        // internal vector, so references it returns do not survive
+        // later at() calls.
+        std::vector<Env> envs;
+        envs.reserve(static_cast<size_t>(opts.envs));
+        for (int i = 0; i < opts.envs; ++i)
+            envs.push_back(pool.at(i));
+
+        std::vector<Value> ref;
+        ref.reserve(envs.size());
+        for (const Env &env : envs)
+            ref.push_back(hir::evaluate(e, env));
+
+        // Oracle 1: simplifier output is a semantic no-op.
+        stage = "simplify";
+        hir::ExprPtr simplified = hir::simplify(e);
+        if (opts.inject_sub_swap_bug) {
+            bool swapped = false;
+            simplified = swap_first_sub(simplified, &swapped);
+        }
+        for (size_t i = 0; i < envs.size(); ++i) {
+            const Value got = hir::evaluate(simplified, envs[i]);
+            if (got != ref[i])
+                return fail("simplify",
+                            mismatch_detail("simplify(e)",
+                                            static_cast<int>(i), got,
+                                            ref[i]));
+        }
+
+        // Oracle 2: HVX selection vs. the reference interpreter.
+        stage = "hvx";
+        std::vector<Value> hvx_out;
+        if (opts.hvx) {
+            if (auto r = synth::select_instructions(e)) {
+                res.hvx_selected = true;
+                for (size_t i = 0; i < envs.size(); ++i) {
+                    Value got = hvx::evaluate(r->instr, envs[i]);
+                    if (got != ref[i])
+                        return fail("hvx",
+                                    mismatch_detail("hvx(e)",
+                                                    static_cast<int>(i),
+                                                    got, ref[i]));
+                    hvx_out.push_back(std::move(got));
+                }
+            }
+        }
+
+        // Oracle 3: NEON selection through the TargetISA path.
+        stage = "neon";
+        std::vector<Value> neon_out;
+        if (opts.neon) {
+            if (auto n = neon::select_instructions(e)) {
+                res.neon_selected = true;
+                for (size_t i = 0; i < envs.size(); ++i) {
+                    Value got = neon::evaluate(*n, envs[i]);
+                    if (got != ref[i])
+                        return fail("neon",
+                                    mismatch_detail("neon(e)",
+                                                    static_cast<int>(i),
+                                                    got, ref[i]));
+                    neon_out.push_back(std::move(got));
+                }
+            }
+        }
+
+        // Oracle 4: the two selections against each other. With both
+        // already equal to the reference this can only fire if the
+        // checks above are themselves broken — it guards the guard.
+        stage = "hvx-vs-neon";
+        if (res.hvx_selected && res.neon_selected) {
+            for (size_t i = 0; i < envs.size(); ++i) {
+                if (hvx_out[i] != neon_out[i])
+                    return fail("hvx-vs-neon",
+                                mismatch_detail("hvx(e) vs neon(e)",
+                                                static_cast<int>(i),
+                                                hvx_out[i],
+                                                neon_out[i]));
+            }
+        }
+    } catch (const std::exception &ex) {
+        return fail(stage, std::string("exception: ") + ex.what(),
+                    /*crash=*/true);
+    } catch (...) {
+        return fail(stage, "unknown exception", /*crash=*/true);
+    }
+    return res;
+}
+
+} // namespace rake::fuzz

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cross-backend differential oracles for generated HIR programs.
+ *
+ * One generated expression is driven through a lattice of checks,
+ * cheapest first:
+ *
+ *  0. s-expression round-trip: print → parse must reproduce the
+ *     expression structurally (every divergence below is persisted as
+ *     a reproducer file, so this must hold before anything else);
+ *  1. metamorphic: the simplifier's output must agree with the HIR
+ *     interpreter on every example environment;
+ *  2. HVX: full instruction selection, executed on the HVX model,
+ *     must agree with the HIR reference;
+ *  3. NEON: the same through the shared backend::TargetISA path;
+ *  4. cross-backend: whenever both targets produced code, their
+ *     outputs must agree with each other.
+ *
+ * A backend declining an expression (no verified lowering found) is
+ * not a divergence — the grammar does not promise totality — but
+ * whatever a backend returns must be correct, and any exception
+ * escaping a stage is reported as a crash divergence.
+ */
+#ifndef RAKE_FUZZ_ORACLES_H
+#define RAKE_FUZZ_ORACLES_H
+
+#include <optional>
+#include <string>
+
+#include "hir/expr.h"
+
+namespace rake::fuzz {
+
+/** Which oracles to run and how many example environments to use. */
+struct OracleOptions {
+    bool hvx = true;       ///< oracle 2 (and 4 when neon is on too)
+    bool neon = true;      ///< oracle 3 (and 4 when hvx is on too)
+    int envs = 4;          ///< example environments per oracle
+    uint64_t env_seed = 91;
+
+    /**
+     * Deliberately mis-simplify `a - b` to `b - a` once per
+     * expression before the metamorphic oracle runs. This is the
+     * documented injected semantics bug used to prove, in tests and
+     * CI, that the oracle lattice catches a real miscompile and that
+     * the minimizer shrinks it to a handful of nodes. Never set
+     * outside those drills.
+     */
+    bool inject_sub_swap_bug = false;
+};
+
+/** One observed divergence (or crash) with a replayable description. */
+struct Divergence {
+    std::string oracle; ///< "sexpr", "simplify", "hvx", "neon", "hvx-vs-neon"
+    std::string detail; ///< env index, lane, expected vs actual, ...
+    bool crash = false; ///< an exception escaped instead of a mismatch
+};
+
+/** Outcome of running the oracle lattice over one expression. */
+struct CheckResult {
+    std::optional<Divergence> divergence;
+    bool hvx_selected = false;  ///< oracle 2 produced code
+    bool neon_selected = false; ///< oracle 3 produced code
+
+    bool ok() const { return !divergence.has_value(); }
+};
+
+/** Run the lattice over `e`. Never throws; crashes are captured. */
+CheckResult check_expr(const hir::ExprPtr &e, const OracleOptions &opts);
+
+} // namespace rake::fuzz
+
+#endif // RAKE_FUZZ_ORACLES_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Corpus replay harness: every reproducer file under tests/corpus/ is
+ * run through the full oracle lattice on both backends. The directory
+ * is the fuzzer's long-term memory — shrunk reproducers of past
+ * divergences plus hand-seeded kernels covering the shapes the
+ * benchmark suite is built from — so this binary is a regression gate
+ * over every bug the fuzzer has ever found.
+ *
+ * The corpus path is baked in at configure time (RAKE_CORPUS_DIR);
+ * the ctest target registering this binary carries the `fuzz` label.
+ */
+#include <gtest/gtest.h>
+
+#include "fuzz/corpus.h"
+#include "fuzz/oracles.h"
+#include "hir/printer.h"
+
+#ifndef RAKE_CORPUS_DIR
+#error "RAKE_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace rake {
+namespace {
+
+using namespace rake::fuzz;
+
+std::vector<CorpusEntry>
+corpus()
+{
+    static const std::vector<CorpusEntry> entries =
+        load_corpus(RAKE_CORPUS_DIR);
+    return entries;
+}
+
+TEST(FuzzCorpusReplay, CorpusIsNonEmpty)
+{
+    EXPECT_GE(corpus().size(), 5u);
+}
+
+TEST(FuzzCorpusReplay, EveryEntryPassesAllOracles)
+{
+    for (const CorpusEntry &entry : corpus()) {
+        const CheckResult res = check_expr(entry.expr, OracleOptions{});
+        EXPECT_TRUE(res.ok())
+            << entry.path << "\noracle " << res.divergence->oracle
+            << ": " << res.divergence->detail << "\n"
+            << hir::to_sexpr(entry.expr);
+    }
+}
+
+TEST(FuzzCorpusReplay, EntriesReplayOnEachBackendAlone)
+{
+    // A corpus entry must stay meaningful when CI runs one target at
+    // a time (the fuzz-smoke steps do exactly that).
+    for (const CorpusEntry &entry : corpus()) {
+        OracleOptions hvx_only;
+        hvx_only.neon = false;
+        OracleOptions neon_only;
+        neon_only.hvx = false;
+        EXPECT_TRUE(check_expr(entry.expr, hvx_only).ok())
+            << entry.path;
+        EXPECT_TRUE(check_expr(entry.expr, neon_only).ok())
+            << entry.path;
+    }
+}
+
+} // namespace
+} // namespace rake

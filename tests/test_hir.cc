@@ -13,6 +13,7 @@
 #include "hir/printer.h"
 #include "hir/sexpr.h"
 #include "hir/simplify.h"
+#include "pipeline/benchmarks.h"
 #include "synth/z3_verify.h"
 #include "test_util.h"
 
@@ -182,6 +183,28 @@ TEST_P(SExprRoundTrip, ParseOfPrintIsIdentity)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SExprRoundTrip,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(SExpr, BenchmarkSuiteRoundTripsExactly)
+{
+    // Property over the real corpus: for every kernel expression of
+    // the 21-benchmark suite, print -> parse is structurally the
+    // identity, print -> parse -> print is a fixpoint (the textual
+    // form is canonical), and the round-tripped expression is
+    // observationally equivalent on example environments. This is the
+    // contract the fuzzer's reproducer files stand on.
+    for (const pipeline::Benchmark &b : pipeline::benchmark_suite()) {
+        for (const pipeline::KernelExpr &k : b.exprs) {
+            const std::string s = to_sexpr(k.expr);
+            ExprPtr back = parse_expr(s);
+            ASSERT_TRUE(equal(back, k.expr)) << b.name << "/" << k.name;
+            EXPECT_EQ(to_sexpr(back), s) << b.name << "/" << k.name;
+            for (const Env &env : environments_for(k.expr, 3, 23)) {
+                EXPECT_EQ(evaluate(back, env), evaluate(k.expr, env))
+                    << b.name << "/" << k.name;
+            }
+        }
+    }
+}
 
 TEST(SExpr, RejectsMalformedInput)
 {

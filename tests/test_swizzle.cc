@@ -8,6 +8,7 @@
 
 #include "hir/builder.h"
 #include "hvx/interp.h"
+#include "synth/cache.h"
 #include "synth/swizzle.h"
 
 namespace rake {
@@ -200,6 +201,58 @@ TEST(Swizzle, TightBudgetRequeryKeepsMemoizedSolution)
     EXPECT_EQ(stats.queries, queries_after_tight);
     EXPECT_EQ(stats.solved, 2);
     EXPECT_EQ(stats.unsat, 1);
+}
+
+TEST(Swizzle, MemoIsNotConsultedAcrossBudgets)
+{
+    // Companion to the PR 1 memo-clobbering fix, from the memo-hit
+    // side: a memoized *solution* may only answer a re-query whose
+    // budget covers its cost, and a memoized *failure* only one at or
+    // below the budget that failed. A tighter-budget re-query
+    // therefore must not be served from the memo — it has to search.
+    SwizzleStats stats;
+    hvx::Target target;
+    SwizzleSolver solver(target, stats);
+    Hole h{VecType(u8, 8), deinterleave(window_cells(0, 0, 0, 8)), {}};
+
+    hvx::InstrPtr first = solver.solve(h, 8);
+    ASSERT_NE(first, nullptr);
+    const int hits_after_solve = stats.memo_hits;
+
+    // Budget 0 is below the solution's cost and below any recorded
+    // failure: the goal must not be answered from the memo (a hit
+    // would increment memo_hits) — the solver re-searches and
+    // correctly reports unsat.
+    EXPECT_EQ(solver.solve(h, 0), nullptr);
+    EXPECT_EQ(stats.memo_hits, hits_after_solve);
+    EXPECT_EQ(stats.unsat, 1);
+
+    // Re-querying at the original budget is answered from the memo:
+    // same instruction, no new candidate programs examined.
+    const int queries_after_tight = stats.queries;
+    hvx::InstrPtr again = solver.solve(h, 8);
+    ASSERT_NE(again, nullptr);
+    EXPECT_TRUE(hvx::equal(again, first));
+    EXPECT_GT(stats.memo_hits, hits_after_solve);
+    EXPECT_EQ(stats.queries, queries_after_tight);
+
+    // And the budget-0 failure is itself memoized: repeating it is
+    // now a memo hit instead of a search.
+    const int hits_before_refail = stats.memo_hits;
+    EXPECT_EQ(solver.solve(h, 0), nullptr);
+    EXPECT_GT(stats.memo_hits, hits_before_refail);
+    EXPECT_EQ(stats.queries, queries_after_tight);
+}
+
+TEST(Swizzle, SynthesisCacheKeySeparatesSwizzleBudgets)
+{
+    // The cross-expression synthesis cache must never serve a result
+    // computed under one swizzle budget to a query made under
+    // another — the budget changes which programs are reachable.
+    synth::RakeOptions a, b;
+    b.lower.swizzle_budget = a.lower.swizzle_budget + 1;
+    EXPECT_NE(synth::options_fingerprint(a),
+              synth::options_fingerprint(b));
 }
 
 TEST(Swizzle, QueriesAreCounted)

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Generative differential fuzzer CLI.
+ *
+ *   rake_fuzz [--seed N] [--count N] [--target hvx|neon|both]
+ *             [--jobs N] [--depth N] [--lanes N] [--envs N]
+ *             [--no-minimize] [--corpus-dir PATH] [--inject-sub-bug]
+ *             [--replay FILE|DIR] [--quiet]
+ *
+ * Default mode generates `count` random HIR programs from `seed` and
+ * drives each through the oracle lattice (s-expression round-trip,
+ * simplifier metamorphic check, HVX and/or NEON selection vs. the
+ * reference interpreter, cross-backend agreement). Divergences are
+ * shrunk by the delta-debugging minimizer and, with --corpus-dir,
+ * persisted as reproducer files.
+ *
+ * --replay runs the oracles over an existing reproducer file (or a
+ * whole corpus directory) instead of generating programs.
+ *
+ * --inject-sub-bug enables the documented drill bug (the simplifier
+ * oracle sees `a - b` flipped to `b - a`) to demonstrate the
+ * find-shrink-persist pipeline end to end.
+ *
+ * Exit status: 0 = no divergences, 1 = divergences found, 2 = usage.
+ */
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "fuzz/corpus.h"
+#include "fuzz/fuzz.h"
+#include "hir/printer.h"
+#include "support/error.h"
+
+using namespace rake;
+
+namespace {
+
+struct Args {
+    fuzz::FuzzOptions fuzz;
+    std::string replay;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage(const std::string &msg)
+{
+    if (!msg.empty())
+        std::cerr << "rake_fuzz: " << msg << "\n";
+    std::cerr << "usage: rake_fuzz [--seed N] [--count N] "
+                 "[--target hvx|neon|both] [--jobs N] [--depth N] "
+                 "[--lanes N] [--envs N] [--no-minimize] "
+                 "[--corpus-dir PATH] [--inject-sub-bug] "
+                 "[--replay FILE|DIR] [--quiet]\n";
+    std::exit(2);
+}
+
+Args
+parse_args(int argc, char **argv)
+{
+    Args args;
+    auto value = [&](int &i, const std::string &flag) -> std::string {
+        if (i + 1 >= argc)
+            usage(flag + " needs a value");
+        return argv[++i];
+    };
+    auto int_value = [&](int &i, const std::string &flag) {
+        const std::string v = value(i, flag);
+        try {
+            return std::stoll(v);
+        } catch (...) {
+            usage(flag + ": bad integer '" + v + "'");
+        }
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--seed") {
+            args.fuzz.seed = static_cast<uint64_t>(int_value(i, a));
+        } else if (a == "--count") {
+            args.fuzz.count = static_cast<int>(int_value(i, a));
+        } else if (a == "--jobs") {
+            args.fuzz.jobs = static_cast<int>(int_value(i, a));
+        } else if (a == "--depth") {
+            args.fuzz.gen.max_depth = static_cast<int>(int_value(i, a));
+        } else if (a == "--lanes") {
+            args.fuzz.gen.lanes = static_cast<int>(int_value(i, a));
+        } else if (a == "--envs") {
+            args.fuzz.oracles.envs = static_cast<int>(int_value(i, a));
+        } else if (a == "--target") {
+            const std::string t = value(i, a);
+            if (t == "hvx") {
+                args.fuzz.oracles.hvx = true;
+                args.fuzz.oracles.neon = false;
+            } else if (t == "neon") {
+                args.fuzz.oracles.hvx = false;
+                args.fuzz.oracles.neon = true;
+            } else if (t == "both") {
+                args.fuzz.oracles.hvx = true;
+                args.fuzz.oracles.neon = true;
+            } else {
+                usage("unknown --target '" + t + "'");
+            }
+        } else if (a == "--corpus-dir") {
+            args.fuzz.corpus_dir = value(i, a);
+        } else if (a == "--replay") {
+            args.replay = value(i, a);
+        } else if (a == "--no-minimize") {
+            args.fuzz.minimize = false;
+        } else if (a == "--inject-sub-bug") {
+            args.fuzz.oracles.inject_sub_swap_bug = true;
+        } else if (a == "--quiet") {
+            args.quiet = true;
+        } else {
+            usage("unknown argument '" + a + "'");
+        }
+    }
+    return args;
+}
+
+int
+replay(const Args &args)
+{
+    std::vector<fuzz::CorpusEntry> entries;
+    try {
+        entries = fuzz::load_corpus(args.replay);
+    } catch (const UserError &) {
+        entries.push_back(fuzz::load_corpus_file(args.replay));
+    }
+    int failures = 0;
+    for (const fuzz::CorpusEntry &entry : entries) {
+        fuzz::CheckResult res =
+            fuzz::check_expr(entry.expr, args.fuzz.oracles);
+        if (res.ok()) {
+            if (!args.quiet)
+                std::cout << "ok   " << entry.path << "\n";
+            continue;
+        }
+        ++failures;
+        std::cout << "FAIL " << entry.path << "\n     oracle "
+                  << res.divergence->oracle << ": "
+                  << res.divergence->detail << "\n     "
+                  << hir::to_sexpr(entry.expr) << "\n";
+    }
+    std::cout << entries.size() - failures << "/" << entries.size()
+              << " corpus entries pass\n";
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Args args = parse_args(argc, argv);
+        if (!args.replay.empty())
+            return replay(args);
+        const fuzz::FuzzReport report = fuzz::run(args.fuzz);
+        if (!args.quiet || report.divergences() > 0)
+            std::cout << report.summary();
+        return report.divergences() == 0 ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::cerr << "rake_fuzz: " << e.what() << "\n";
+        return 2;
+    }
+}
