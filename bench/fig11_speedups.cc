@@ -12,6 +12,7 @@
 
 #include "pipeline/benchmarks.h"
 #include "pipeline/report.h"
+#include "support/deadline.h"
 
 int
 main(int argc, char **argv)
@@ -22,6 +23,10 @@ main(int argc, char **argv)
     const BenchArgs args = parse_bench_args(argc, argv);
     CompileOptions opts;
     opts.jobs = args.jobs;
+    opts.timeout_ms =
+        resolve_timeout_ms(args.timeout_ms, "RAKE_TIMEOUT_MS");
+    opts.run_timeout_ms =
+        resolve_timeout_ms(args.run_timeout_ms, "RAKE_RUN_TIMEOUT_MS");
     std::vector<BenchmarkResult> results;
     std::vector<double> speedups;
 
@@ -59,6 +64,17 @@ main(int argc, char **argv)
         else
             ++tied;
     }
+    int timeouts = 0, degraded = 0;
+    for (const BenchmarkResult &r : results) {
+        timeouts += r.timeouts;
+        degraded += r.degraded;
+    }
+    // Emitted only when a deadline fired, keeping no-timeout output
+    // bit-identical.
+    if (timeouts > 0 || degraded > 0)
+        std::cout << "\ndeadlines: " << timeouts
+                  << " expression(s) timed out, " << degraded
+                  << " shipped the greedy fallback (marked degraded)\n";
     std::cout << "\nsummary: geo-mean speedup " << fmt(geomean(speedups))
               << "x over " << speedups.size() << " benchmarks; "
               << improved << " improved (>3%), " << tied

@@ -16,9 +16,14 @@
  * engine (`--greedy` additionally swaps in the old one-template
  * mapper as an ablation, which reports no search statistics).
  *
+ * `--timeout-ms` / `--run-timeout-ms` (or RAKE_TIMEOUT_MS /
+ * RAKE_RUN_TIMEOUT_MS) bound each query / the whole run; expired
+ * queries ship the greedy degradation and the JSON gains `timeouts` /
+ * `degraded` counts (emitted only when nonzero).
+ *
  *   micro_synth [--target hvx|neon] [--iters K] [--jobs N]
  *               [--json PATH] [--profile] [--no-dedup] [--greedy]
- *               [case-name]
+ *               [--timeout-ms N] [--run-timeout-ms N] [case-name]
  */
 #include <chrono>
 #include <iostream>
@@ -27,6 +32,7 @@
 #include "hir/builder.h"
 #include "neon/select.h"
 #include "pipeline/report.h"
+#include "support/deadline.h"
 #include "synth/profile.h"
 #include "synth/rake.h"
 
@@ -79,6 +85,14 @@ main(int argc, char **argv)
     if (args.target == "neon")
         opts.lower.layouts = false; // Neon is linear-only
 
+    const int timeout_ms =
+        resolve_timeout_ms(args.timeout_ms, "RAKE_TIMEOUT_MS");
+    const int run_timeout_ms =
+        resolve_timeout_ms(args.run_timeout_ms, "RAKE_RUN_TIMEOUT_MS");
+    const Deadline run_deadline =
+        run_timeout_ms > 0 ? Deadline::after_ms(run_timeout_ms)
+                           : Deadline();
+
     std::cout << "micro_synth: end-to-end synthesis on "
               << args.target << (args.greedy ? " (greedy)" : "")
               << ", " << iters << " iteration(s) per case, dedup "
@@ -100,10 +114,16 @@ main(int argc, char **argv)
         synth::SynthProfile profile;
         double sum = 0.0, best = 0.0;
         for (int k = 0; k < iters; ++k) {
+            // Per-query budget armed at query start; the whole-run
+            // clock ticks across iterations and cases.
+            synth::RakeOptions ropts = opts;
+            if (timeout_ms > 0)
+                ropts.deadline = Deadline::after_ms(timeout_ms);
+            ropts.deadline = ropts.deadline.sooner(run_deadline);
             const double s0 = now_seconds();
             bool ok = false;
             if (args.target == "hvx") {
-                auto rk = synth::select_instructions(e, opts);
+                auto rk = synth::select_instructions(e, ropts);
                 ok = rk.has_value();
                 if (rk)
                     profile.add(*rk);
@@ -118,7 +138,7 @@ main(int argc, char **argv)
                 // state (the swizzle memo).
                 neon::Target machine;
                 auto isa = backend::make_neon_backend(machine);
-                auto rk = synth::select_instructions_for(e, *isa, opts);
+                auto rk = synth::select_instructions_for(e, *isa, ropts);
                 ok = rk.has_value();
                 if (rk)
                     profile.add(*rk);
@@ -156,6 +176,12 @@ main(int argc, char **argv)
             .put("dedup_skips", dd)
             .put("ref_cache_hits", rh)
             .put("swizzle_memo_hits", sm);
+        // Only when a deadline fired, so no-timeout JSON stays
+        // bit-identical.
+        if (profile.timeouts > 0)
+            cj.put("timeouts", profile.timeouts);
+        if (profile.degraded > 0)
+            cj.put("degraded", profile.degraded);
         if (!cases_json.empty())
             cases_json += ",";
         cases_json += cj.to_string();
@@ -187,8 +213,12 @@ main(int argc, char **argv)
             .put("dedup_skips", total_profile.total_dedup_skips())
             .put("ref_cache_hits", total_profile.total_ref_cache_hits())
             .put("swizzle_memo_hits", total_profile.swizzle.memo_hits)
-            .put("cache_hits", total_profile.cache_hits)
-            .put_raw("cases", "[" + cases_json + "]");
+            .put("cache_hits", total_profile.cache_hits);
+        if (total_profile.timeouts > 0)
+            j.put("timeouts", total_profile.timeouts);
+        if (total_profile.degraded > 0)
+            j.put("degraded", total_profile.degraded);
+        j.put_raw("cases", "[" + cases_json + "]");
         write_text_file(args.json, j.to_string() + "\n");
         std::cout << "\nwrote " << args.json << "\n";
     }

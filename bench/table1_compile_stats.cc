@@ -25,6 +25,7 @@
 #include "backend/neon_backend.h"
 #include "pipeline/benchmarks.h"
 #include "pipeline/report.h"
+#include "support/deadline.h"
 #include "support/thread_pool.h"
 #include "synth/cache.h"
 
@@ -45,7 +46,7 @@ now_seconds()
  */
 rake::pipeline::BenchmarkResult
 compile_neon_benchmark(const rake::pipeline::Benchmark &bench,
-                       const rake::synth::RakeOptions &ropts)
+                       const rake::pipeline::CompileOptions &opts)
 {
     using namespace rake;
     pipeline::BenchmarkResult result;
@@ -53,12 +54,20 @@ compile_neon_benchmark(const rake::pipeline::Benchmark &bench,
     const synth::CacheStats cache_before =
         synth::backend_synthesis_cache("neon").stats();
     const double t0 = now_seconds();
+    const Deadline run_deadline =
+        opts.run_timeout_ms > 0
+            ? Deadline::after_ms(opts.run_timeout_ms)
+            : Deadline();
     for (const pipeline::KernelExpr &kernel : bench.exprs) {
         const double e0 = now_seconds();
         // Fresh backend per expression: it carries per-run search
         // state (the swizzle memo).
         neon::Target machine;
         auto isa = backend::make_neon_backend(machine);
+        synth::RakeOptions ropts = opts.rake;
+        if (opts.timeout_ms > 0)
+            ropts.deadline = Deadline::after_ms(opts.timeout_ms);
+        ropts.deadline = ropts.deadline.sooner(run_deadline);
         auto rk = synth::select_instructions_for(kernel.expr, *isa,
                                                  ropts);
         const double dt = now_seconds() - e0;
@@ -66,6 +75,10 @@ compile_neon_benchmark(const rake::pipeline::Benchmark &bench,
         if (!rk)
             continue;
         ++result.optimized_exprs;
+        if (rk->status == synth::SynthStatus::TimedOut)
+            ++result.timeouts;
+        if (rk->degraded)
+            ++result.degraded;
         result.lifting_queries += rk->lift.total_queries();
         result.lifting_seconds += rk->lift.total_seconds();
         result.sketch_queries += rk->lower.sketch.queries;
@@ -98,6 +111,10 @@ main(int argc, char **argv)
     opts.validate = false; // Table 1 measures synthesis effort only
     opts.jobs = args.jobs;
     opts.rake.verifier.dedup = !args.no_dedup;
+    opts.timeout_ms =
+        resolve_timeout_ms(args.timeout_ms, "RAKE_TIMEOUT_MS");
+    opts.run_timeout_ms =
+        resolve_timeout_ms(args.run_timeout_ms, "RAKE_RUN_TIMEOUT_MS");
     const bool neon_target = args.target == "neon";
     if (neon_target)
         opts.rake.lower.layouts = false; // Neon is linear-only
@@ -120,7 +137,7 @@ main(int argc, char **argv)
             continue;
         std::cerr << "[table1] compiling " << b.name << "...\n";
         BenchmarkResult r = neon_target
-                                ? compile_neon_benchmark(b, opts.rake)
+                                ? compile_neon_benchmark(b, opts)
                                 : compile_benchmark(b, opts);
         table.add_row({r.name, std::to_string(r.optimized_exprs),
                        std::to_string(r.lifting_queries),
@@ -156,6 +173,12 @@ main(int argc, char **argv)
             .put("swizzle_memo_hits", r.swizzle_memo_hits)
             .put("cache_hits", r.cache_hits)
             .put("cache_misses", r.cache_misses);
+        // Only when a deadline fired, so no-timeout JSON stays
+        // bit-identical.
+        if (r.timeouts > 0)
+            bj.put("timeouts", r.timeouts);
+        if (r.degraded > 0)
+            bj.put("degraded", r.degraded);
         if (!bench_json.empty())
             bench_json += ",";
         bench_json += bj.to_string();
@@ -193,8 +216,12 @@ main(int argc, char **argv)
             .put("ref_cache_hits", profile.total_ref_cache_hits())
             .put("swizzle_memo_hits", profile.swizzle.memo_hits)
             .put("cache_hits", cache.hits)
-            .put("cache_misses", cache.misses)
-            .put_raw("benchmarks", "[" + bench_json + "]");
+            .put("cache_misses", cache.misses);
+        if (profile.timeouts > 0)
+            j.put("timeouts", profile.timeouts);
+        if (profile.degraded > 0)
+            j.put("degraded", profile.degraded);
+        j.put_raw("benchmarks", "[" + bench_json + "]");
         write_text_file(args.json, j.to_string() + "\n");
         std::cout << "wrote " << args.json << "\n";
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "backend/leaf_util.h"
+#include "baseline/halide_optimizer.h"
 #include "hvx/interp.h"
 #include "support/error.h"
 #include "synth/sketch.h"
@@ -1461,6 +1462,7 @@ class HvxBackend final : public TargetISA
                 std::make_unique<synth::SwizzleSolver>(target_, stats);
             solver_stats_ = &stats;
         }
+        solver_->set_deadline(deadline_);
         InstrPtr r = solver_->solve(hole, budget);
         if (!r)
             return std::nullopt;
@@ -1487,6 +1489,21 @@ class HvxBackend final : public TargetISA
         return synth::arrangement_value(hole, env, oracle);
     }
 
+    void
+    set_deadline(const Deadline &deadline) override
+    {
+        deadline_ = deadline;
+    }
+
+    std::optional<InstrHandle>
+    greedy_select(const hir::ExprPtr &expr) const override
+    {
+        // The pattern-matching baseline always succeeds and never
+        // searches, so it runs deadline-free by design.
+        return InstrHandle(
+            baseline::select_instructions(expr, target_));
+    }
+
   private:
     static InstrPtr
     hvx_cast(const InstrHandle &h)
@@ -1497,6 +1514,7 @@ class HvxBackend final : public TargetISA
     const hvx::Target &target_;
     std::unique_ptr<synth::SwizzleSolver> solver_;
     const synth::SwizzleStats *solver_stats_ = nullptr;
+    Deadline deadline_;
 };
 
 } // namespace

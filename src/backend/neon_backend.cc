@@ -9,6 +9,7 @@
 
 #include "backend/leaf_util.h"
 #include "neon/interp.h"
+#include "neon/select.h"
 #include "support/error.h"
 #include "synth/swizzle.h"
 
@@ -97,6 +98,9 @@ class NeonSwizzleSolver
         : target_(target), stats_(stats)
     {
     }
+
+    /** See synth::SwizzleSolver::set_deadline. */
+    void set_deadline(const Deadline &deadline) { deadline_ = deadline; }
 
     NInstrPtr
     solve(const synth::Hole &hole, int budget)
@@ -191,6 +195,11 @@ class NeonSwizzleSolver
     search(const Arrangement &arr, ScalarType elem,
            const std::vector<NInstrPtr> &sources, int budget)
     {
+        // Poll before memo writes: an aborted search unwinds without
+        // recording anything, so a timeout can never be memoized as
+        // "unsat within budget" (see synth::SwizzleSolver::search).
+        deadline_.check("swizzle synthesis");
+
         if (budget < 0)
             return std::nullopt;
         const Key key = key_of(arr, elem, sources);
@@ -404,6 +413,7 @@ class NeonSwizzleSolver
 
     const neon::Target &target_;
     synth::SwizzleStats &stats_;
+    Deadline deadline_;
     std::unordered_map<Key, Result, KeyHash> memo_;
     std::unordered_set<Key, KeyHash> active_;
     std::map<std::tuple<int, int, int, int, ScalarType>, NInstrPtr>
@@ -1101,6 +1111,7 @@ class NeonBackend final : public TargetISA
                 std::make_unique<NeonSwizzleSolver>(target_, stats);
             solver_stats_ = &stats;
         }
+        solver_->set_deadline(deadline_);
         NInstrPtr r = solver_->solve(hole, budget);
         if (!r)
             return std::nullopt;
@@ -1135,10 +1146,32 @@ class NeonBackend final : public TargetISA
         return synth::arrangement_value_from(hole, env, src_values);
     }
 
+    void
+    set_deadline(const Deadline &deadline) override
+    {
+        deadline_ = deadline;
+    }
+
+    std::optional<InstrHandle>
+    greedy_select(const hir::ExprPtr &expr) const override
+    {
+        // The PR 3 greedy one-template mapping, run deadline-free (it
+        // is bounded: one template per uber-op, no search). It can
+        // still return nullopt for uber-ops outside the greedy
+        // repertoire, in which case degradation yields no program.
+        neon::SelectOptions opts;
+        opts.greedy = true;
+        auto r = neon::select_instructions(expr, opts);
+        if (!r)
+            return std::nullopt;
+        return InstrHandle(std::move(*r));
+    }
+
   private:
     const neon::Target &target_;
     std::unique_ptr<NeonSwizzleSolver> solver_;
     const synth::SwizzleStats *solver_stats_ = nullptr;
+    Deadline deadline_;
 };
 
 } // namespace

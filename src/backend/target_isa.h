@@ -38,6 +38,8 @@
 
 #include "backend/instr_handle.h"
 #include "base/value.h"
+#include "hir/expr.h"
+#include "support/deadline.h"
 #include "synth/symbolic_vector.h"
 #include "uir/uexpr.h"
 
@@ -173,6 +175,33 @@ class TargetISA
      */
     virtual Value hole_value(const synth::Hole &hole, const Env &env,
                              const HoleOracle &oracle) const = 0;
+
+    /**
+     * Wall-clock budget for this run; the backend's own search loops
+     * (the swizzle solver) poll it and throw TimeoutError on expiry.
+     * Called by the core lowerer before any candidates()/solve_hole()
+     * call. Backends without internal search may ignore it.
+     */
+    virtual void
+    set_deadline(const Deadline &deadline)
+    {
+        (void)deadline;
+    }
+
+    /**
+     * The target's greedy (synthesis-free) selector over a whole HIR
+     * expression — the degradation path select_instructions_for()
+     * takes when a deadline expires, so the pipeline still emits a
+     * runnable program. Must be fast and bounded (it runs *after* the
+     * budget is spent, deliberately without a deadline). Backends
+     * without a greedy mapper return nullopt and degrade to nothing.
+     */
+    virtual std::optional<InstrHandle>
+    greedy_select(const hir::ExprPtr &expr) const
+    {
+        (void)expr;
+        return std::nullopt;
+    }
 };
 
 } // namespace rake::backend

@@ -43,10 +43,13 @@ run(const FuzzOptions &opts)
         f.expr = e;
         f.shrunk = e;
         f.divergence = *res.divergence;
-        if (opts.minimize) {
+        if (opts.minimize && !f.divergence.hang) {
             // Shrink while the *same* oracle keeps firing: collapsing
             // into some unrelated divergence would produce a
             // reproducer for a different bug than the one found.
+            // Hangs are exempt: each minimization probe would burn a
+            // full timeout budget, and whether a smaller program still
+            // times out is load-dependent — not a stable predicate.
             const std::string oracle = f.divergence.oracle;
             f.shrunk = minimize(e, [&](const hir::ExprPtr &cand) {
                 CheckResult r = check_expr(cand, opts.oracles);
@@ -65,6 +68,7 @@ run(const FuzzOptions &opts)
             continue;
         Finding &f = *slot.finding;
         report.crashes += f.divergence.crash ? 1 : 0;
+        report.hangs += f.divergence.hang ? 1 : 0;
         if (!opts.corpus_dir.empty()) {
             std::ostringstream name;
             name << opts.corpus_dir << "/repro-" << f.divergence.oracle
@@ -96,7 +100,7 @@ FuzzReport::summary() const
        << "hvx selected: " << hvx_selected << "/" << count << "\n"
        << "neon selected: " << neon_selected << "/" << count << "\n"
        << "divergences: " << divergences() << " (crashes: " << crashes
-       << ")\n";
+       << ", hangs: " << hangs << ")\n";
     for (const Finding &f : findings) {
         os << "  [" << f.index << "] seed=" << f.seed
            << " oracle=" << f.divergence.oracle << " nodes "

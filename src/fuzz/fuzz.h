@@ -50,6 +50,7 @@ struct FuzzReport {
     int hvx_selected = 0;   ///< programs the HVX backend lowered
     int neon_selected = 0;  ///< programs the NEON backend lowered
     int crashes = 0;        ///< findings that were exceptions
+    int hangs = 0;          ///< findings that were deadline expiries
     std::vector<Finding> findings; ///< ordered by program index
 
     int divergences() const { return static_cast<int>(findings.size()); }

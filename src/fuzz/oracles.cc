@@ -9,6 +9,7 @@
 #include "hir/simplify.h"
 #include "hvx/interp.h"
 #include "neon/select.h"
+#include "support/deadline.h"
 #include "support/error.h"
 #include "synth/rake.h"
 #include "synth/spec.h"
@@ -81,11 +82,17 @@ check_expr(const hir::ExprPtr &e, const OracleOptions &opts)
 {
     CheckResult res;
     auto fail = [&](std::string oracle, std::string detail,
-                    bool crash = false) {
+                    bool crash = false, bool hang = false) {
         res.divergence = Divergence{std::move(oracle), std::move(detail),
-                                    crash};
+                                    crash, hang};
         return res;
     };
+    // The per-program guard: one deadline over the whole lattice. The
+    // selection stages also observe it internally (and degrade), so a
+    // hang anywhere surfaces as a finding, not a stuck worker.
+    const Deadline guard = opts.timeout_ms > 0
+                               ? Deadline::after_ms(opts.timeout_ms)
+                               : Deadline();
     std::string stage = "sexpr";
     try {
         // Oracle 0: the round-trip every reproducer file depends on.
@@ -95,6 +102,15 @@ check_expr(const hir::ExprPtr &e, const OracleOptions &opts)
                         "print -> parse is not structurally identical");
         if (hir::to_sexpr(parsed) != hir::to_sexpr(e))
             return fail("sexpr", "print -> parse -> print not a fixpoint");
+
+        // Drill: a planted spin, the hang analogue of the injected
+        // sub-swap bug. Arms only under an active deadline so it can
+        // never wedge a run (the CLI enforces --timeout-ms with it).
+        if (opts.inject_spin && guard.active()) {
+            stage = "spin";
+            for (;;)
+                guard.check("the planted spin drill");
+        }
 
         // Shared example environments (the spec's corner + random
         // pool, the same distribution CEGIS verifies against).
@@ -130,11 +146,21 @@ check_expr(const hir::ExprPtr &e, const OracleOptions &opts)
                                             ref[i]));
         }
 
-        // Oracle 2: HVX selection vs. the reference interpreter.
+        // Oracle 2: HVX selection vs. the reference interpreter. The
+        // guard rides into synthesis, which degrades on expiry rather
+        // than throwing; a TimedOut status is the hang, reported with
+        // the same deterministic detail on every job count.
         stage = "hvx";
         std::vector<Value> hvx_out;
         if (opts.hvx) {
-            if (auto r = synth::select_instructions(e)) {
+            synth::RakeOptions ropts;
+            ropts.deadline = guard;
+            if (auto r = synth::select_instructions(e, ropts)) {
+                if (r->status == synth::SynthStatus::TimedOut)
+                    return fail("hvx",
+                                "synthesis deadline expired (greedy "
+                                "degradation shipped)",
+                                /*crash=*/false, /*hang=*/true);
                 res.hvx_selected = true;
                 for (size_t i = 0; i < envs.size(); ++i) {
                     Value got = hvx::evaluate(r->instr, envs[i]);
@@ -152,7 +178,15 @@ check_expr(const hir::ExprPtr &e, const OracleOptions &opts)
         stage = "neon";
         std::vector<Value> neon_out;
         if (opts.neon) {
-            if (auto n = neon::select_instructions(e)) {
+            neon::SelectOptions nopts;
+            nopts.deadline = guard;
+            synth::SynthStatus nstatus = synth::SynthStatus::Ok;
+            if (auto n = neon::select_instructions(e, nopts, &nstatus)) {
+                if (nstatus == synth::SynthStatus::TimedOut)
+                    return fail("neon",
+                                "synthesis deadline expired (greedy "
+                                "degradation shipped)",
+                                /*crash=*/false, /*hang=*/true);
                 res.neon_selected = true;
                 for (size_t i = 0; i < envs.size(); ++i) {
                     Value got = neon::evaluate(*n, envs[i]);
@@ -180,6 +214,11 @@ check_expr(const hir::ExprPtr &e, const OracleOptions &opts)
                                                 neon_out[i]));
             }
         }
+    } catch (const TimeoutError &ex) {
+        // Before std::exception: a guard expiry is a hang, not a
+        // crash. The message carries only what was running (no elapsed
+        // times), keeping reports byte-identical across --jobs.
+        return fail(stage, ex.what(), /*crash=*/false, /*hang=*/true);
     } catch (const std::exception &ex) {
         return fail(stage, std::string("exception: ") + ex.what(),
                     /*crash=*/true);

@@ -39,6 +39,16 @@ struct OracleOptions {
     uint64_t env_seed = 91;
 
     /**
+     * Per-program wall-clock budget in milliseconds (0 = none). The
+     * whole lattice runs under one deadline; a stage that exhausts it
+     * is reported as a `hang` divergence (crash attribution's third
+     * kind, next to mismatches and exceptions), and a synthesis run
+     * that internally degraded to greedy selection on that deadline is
+     * reported the same way.
+     */
+    int timeout_ms = 0;
+
+    /**
      * Deliberately mis-simplify `a - b` to `b - a` once per
      * expression before the metamorphic oracle runs. This is the
      * documented injected semantics bug used to prove, in tests and
@@ -47,6 +57,16 @@ struct OracleOptions {
      * outside those drills.
      */
     bool inject_sub_swap_bug = false;
+
+    /**
+     * Plant a spin loop ahead of the oracles, the hang-flavored
+     * analogue of inject_sub_swap_bug: proves the per-program guard
+     * turns a wedged stage into a `hang` finding instead of a stuck
+     * worker. Requires timeout_ms > 0 (the spin only arms under an
+     * active deadline, so it can never wedge a run). Never set outside
+     * drills.
+     */
+    bool inject_spin = false;
 };
 
 /** One observed divergence (or crash) with a replayable description. */
@@ -54,6 +74,7 @@ struct Divergence {
     std::string oracle; ///< "sexpr", "simplify", "hvx", "neon", "hvx-vs-neon"
     std::string detail; ///< env index, lane, expected vs actual, ...
     bool crash = false; ///< an exception escaped instead of a mismatch
+    bool hang = false;  ///< the per-program deadline fired instead
 };
 
 /** Outcome of running the oracle lattice over one expression. */

@@ -318,11 +318,18 @@ lower_to_neon(const uir::UExprPtr &lifted)
 }
 
 std::optional<NInstrPtr>
-select_instructions(const hir::ExprPtr &expr, const SelectOptions &opts)
+select_instructions(const hir::ExprPtr &expr, const SelectOptions &opts,
+                    synth::SynthStatus *status)
 {
     RAKE_USER_CHECK(expr != nullptr, "null expression");
-    if (opts.greedy)
-        return select_greedy(expr, opts);
+    if (status)
+        *status = synth::SynthStatus::Ok;
+    if (opts.greedy) {
+        auto g = select_greedy(expr, opts);
+        if (status && !g)
+            *status = synth::SynthStatus::NoSolution;
+        return g;
+    }
 
     // The full synthesis treatment: shared lift + sketch/CEGIS/swizzle
     // search through the Neon backend.
@@ -333,9 +340,15 @@ select_instructions(const hir::ExprPtr &expr, const SelectOptions &opts)
     ropts.verifier = opts.verifier;
     ropts.seed = opts.seed;
     ropts.use_cache = opts.use_cache;
+    ropts.deadline = opts.deadline;
     auto r = synth::select_instructions_for(expr, *isa, ropts);
-    if (!r || !r->instr)
+    if (!r || !r->instr) {
+        if (status)
+            *status = synth::SynthStatus::NoSolution;
         return std::nullopt;
+    }
+    if (status)
+        *status = r->status;
     return std::static_pointer_cast<const NInstr>(r->instr);
 }
 

@@ -18,7 +18,9 @@
 #include "base/value.h"
 #include "neon/instr.h"
 #include "neon/interp.h"
+#include "support/deadline.h"
 #include "synth/lower.h"
+#include "synth/rake.h"
 #include "synth/verify.h"
 #include "uir/uexpr.h"
 
@@ -33,6 +35,15 @@ struct SelectOptions {
     synth::VerifierOptions verifier;
     uint64_t seed = 1;     ///< example-pool seed
     bool use_cache = true; ///< consult the cross-expression cache
+
+    /**
+     * Wall-clock budget for the synthesis path (see
+     * synth::RakeOptions::deadline). On expiry selection degrades to
+     * the greedy mapping, reported through the `status` out-param.
+     * The greedy path itself ignores the deadline — it is the
+     * fallback and performs no search.
+     */
+    Deadline deadline;
 
     SelectOptions()
     {
@@ -54,10 +65,16 @@ std::optional<NInstrPtr> lower_to_neon(const uir::UExprPtr &lifted);
  * then search for the lowest-cost Neon lowering (or, under
  * opts.greedy, apply the one-template mapping). Every returned result
  * has been verified against the HIR reference on concrete examples.
+ *
+ * `status`, when non-null, receives the timeout taxonomy of the run:
+ * Ok, NoSolution (returned nullopt), or TimedOut (the deadline fired
+ * and the returned program is the greedy degradation).
  */
 std::optional<NInstrPtr> select_instructions(const hir::ExprPtr &expr,
                                              const SelectOptions &opts
-                                             = {});
+                                             = {},
+                                             synth::SynthStatus *status
+                                             = nullptr);
 
 } // namespace rake::neon
 

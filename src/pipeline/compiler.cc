@@ -5,6 +5,7 @@
 
 #include "hir/interp.h"
 #include "hvx/interp.h"
+#include "support/deadline.h"
 #include "support/error.h"
 #include "support/thread_pool.h"
 #include "synth/cache.h"
@@ -56,6 +57,14 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
     const int n = static_cast<int>(bench.exprs.size());
     const int jobs = resolve_jobs(opts.jobs);
 
+    // The whole-run budget is one clock shared by every expression;
+    // per-expression budgets are armed at task start so a queued task
+    // gets its full allowance no matter when a worker picks it up.
+    const Deadline run_deadline = opts.run_timeout_ms > 0
+                                      ? Deadline::after_ms(
+                                            opts.run_timeout_ms)
+                                      : Deadline();
+
     // Phase 1 (concurrent): every expression's baseline selection,
     // Rake synthesis, validation, and scheduling are independent of
     // the others — per-expression Verifier / ExamplePool /
@@ -79,7 +88,12 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
         // code when synthesis cannot produce a verified result.
         if (std::getenv("RAKE_TRACE"))
             fprintf(stderr, "[compile] %s: rake\n", kernel.name.c_str());
-        auto rk = synth::select_instructions(kernel.expr, opts.rake);
+        synth::RakeOptions ropts = opts.rake;
+        if (opts.timeout_ms > 0)
+            ropts.deadline = ropts.deadline.sooner(
+                Deadline::after_ms(opts.timeout_ms));
+        ropts.deadline = ropts.deadline.sooner(run_deadline);
+        auto rk = synth::select_instructions(kernel.expr, ropts);
         if (rk) {
             ec.rake = rk->instr;
             ec.rake_result = *rk;
@@ -114,6 +128,10 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
 
         if (ec.rake_result) {
             const synth::RakeResult &rk = *ec.rake_result;
+            if (rk.status == synth::SynthStatus::TimedOut)
+                ++result.timeouts;
+            if (rk.degraded)
+                ++result.degraded;
             result.lifting_queries += rk.lift.total_queries();
             result.lifting_seconds += rk.lift.total_seconds();
             result.sketch_queries += rk.lower.sketch.queries;

@@ -97,6 +97,12 @@ struct BenchmarkResult {
     int ref_cache_hits = 0;
     int swizzle_memo_hits = 0;
 
+    // Deadline outcomes (DESIGN.md "Deadlines & degradation"). Both
+    // stay 0 when no timeout is configured, and the report/JSON emit
+    // them only when nonzero, keeping no-deadline output bit-identical.
+    int timeouts = 0; ///< expressions whose synthesis hit the deadline
+    int degraded = 0; ///< expressions that shipped the greedy fallback
+
     /** Per-stage/per-rule rollup behind the `--profile` breakdown. */
     synth::SynthProfile profile;
 };
@@ -116,6 +122,23 @@ struct CompileOptions {
      * job count; only wall_seconds changes.
      */
     int jobs = 0;
+
+    /**
+     * Per-expression synthesis budget in milliseconds (0 = none).
+     * An expression whose budget expires ships the greedy baseline's
+     * program, marked degraded. Resolved against RAKE_TIMEOUT_MS by
+     * the CLI layer, not here.
+     */
+    int timeout_ms = 0;
+
+    /**
+     * Whole-benchmark budget in milliseconds (0 = none): one clock
+     * armed at compile_benchmark() entry that every expression's
+     * deadline also observes, so a pathological suite degrades
+     * instead of overrunning. Resolved against RAKE_RUN_TIMEOUT_MS by
+     * the CLI layer.
+     */
+    int run_timeout_ms = 0;
 };
 
 /** Compile, validate, and simulate one benchmark. */

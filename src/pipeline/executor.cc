@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <set>
 
 #include "hir/analysis.h"
 #include "hir/interp.h"
@@ -45,12 +46,75 @@ env_for(const std::map<int, Image> &inputs,
     return env;
 }
 
-template <typename EvalFn>
-Image
-run_impl(VecType out_type, const std::map<int, Image> &inputs,
-         const std::map<std::string, int64_t> &scalars, EvalFn &&eval)
+/** Buffer id -> element type the code loads from it. */
+using LoadElems = std::map<int, ScalarType>;
+
+void
+collect_load_elems(const hir::ExprPtr &e, LoadElems &out)
+{
+    if (!e)
+        return;
+    if (e->op() == hir::Op::Load)
+        out.emplace(e->load_ref().buffer, e->type().elem);
+    for (const hir::ExprPtr &a : e->args())
+        collect_load_elems(a, out);
+}
+
+void
+collect_load_elems(const hvx::InstrPtr &n, LoadElems &out,
+                   std::set<const hvx::Instr *> &visited)
+{
+    if (!n || !visited.insert(n.get()).second)
+        return;
+    if (n->op() == hvx::Opcode::VRead)
+        out.emplace(n->load_ref().buffer, n->type().elem);
+    if (n->op() == hvx::Opcode::VSplat)
+        collect_load_elems(n->splat_value(), out);
+    for (const hvx::InstrPtr &a : n->args())
+        collect_load_elems(a, out, visited);
+}
+
+/**
+ * Every input shares the primary's (x, y) grid, so a size mismatch
+ * would silently edge-clamp a secondary input instead of failing, and
+ * an element-type mismatch would surface as an InternalError from deep
+ * inside the interpreter. Reject both up front, per input.
+ */
+void
+validate_inputs(const std::map<int, Image> &inputs,
+                const LoadElems &loads)
 {
     RAKE_USER_CHECK(!inputs.empty(), "no input images");
+    const auto &[primary_id, primary] = *inputs.begin();
+    for (const auto &[id, img] : inputs) {
+        RAKE_USER_CHECK(
+            img.width == primary.width && img.height == primary.height,
+            "input " << id << " is " << img.width << "x" << img.height
+                     << " but input " << primary_id << " is "
+                     << primary.width << "x" << primary.height
+                     << "; all inputs must share one size");
+    }
+    for (const auto &[buffer, elem] : loads) {
+        auto it = inputs.find(buffer);
+        RAKE_USER_CHECK(it != inputs.end(),
+                        "the code loads from buffer "
+                            << buffer
+                            << " but no such input image was supplied");
+        RAKE_USER_CHECK(it->second.elem == elem,
+                        "input " << buffer << " holds "
+                                 << to_string(it->second.elem)
+                                 << " pixels but the code loads "
+                                 << to_string(elem) << " from it");
+    }
+}
+
+template <typename EvalFn>
+Image
+run_impl(VecType out_type, const LoadElems &loads,
+         const std::map<int, Image> &inputs,
+         const std::map<std::string, int64_t> &scalars, EvalFn &&eval)
+{
+    validate_inputs(inputs, loads);
     const Image &primary = inputs.begin()->second;
     RAKE_USER_CHECK(primary.width % out_type.lanes == 0,
                     "image width " << primary.width
@@ -79,10 +143,13 @@ run_tiles(const hvx::InstrPtr &code, const std::map<int, Image> &inputs,
           const std::map<std::string, int64_t> &scalars)
 {
     RAKE_USER_CHECK(code != nullptr, "null code");
+    LoadElems loads;
+    std::set<const hvx::Instr *> visited;
+    collect_load_elems(code, loads, visited);
     // One interpreter context for the whole image: tile evaluation
     // reuses its value slots instead of reallocating per tile.
     hvx::Interpreter interp;
-    return run_impl(code->type(), inputs, scalars,
+    return run_impl(code->type(), loads, inputs, scalars,
                     [&](const Env &env) -> const Value & {
                         interp.reset(env);
                         return interp.eval(code);
@@ -95,8 +162,10 @@ run_tiles_reference(const hir::ExprPtr &expr,
                     const std::map<std::string, int64_t> &scalars)
 {
     RAKE_USER_CHECK(expr != nullptr, "null expression");
+    LoadElems loads;
+    collect_load_elems(expr, loads);
     hir::Interpreter interp;
-    return run_impl(expr->type(), inputs, scalars,
+    return run_impl(expr->type(), loads, inputs, scalars,
                     [&](const Env &env) -> const Value & {
                         interp.reset(env);
                         return interp.eval(expr);

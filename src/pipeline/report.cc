@@ -119,6 +119,23 @@ parse_bench_args(int argc, char **argv)
             args.target = argv[++i];
         } else if (a.rfind("--target=", 0) == 0) {
             args.target = a.substr(9);
+        } else if (a == "--timeout-ms") {
+            RAKE_USER_CHECK(i + 1 < argc, a << " needs a value");
+            args.timeout_ms = std::atoi(argv[++i]);
+            RAKE_USER_CHECK(args.timeout_ms > 0,
+                            "bad timeout: " << argv[i]);
+        } else if (a.rfind("--timeout-ms=", 0) == 0) {
+            args.timeout_ms = std::atoi(a.c_str() + 13);
+            RAKE_USER_CHECK(args.timeout_ms > 0, "bad timeout: " << a);
+        } else if (a == "--run-timeout-ms") {
+            RAKE_USER_CHECK(i + 1 < argc, a << " needs a value");
+            args.run_timeout_ms = std::atoi(argv[++i]);
+            RAKE_USER_CHECK(args.run_timeout_ms > 0,
+                            "bad timeout: " << argv[i]);
+        } else if (a.rfind("--run-timeout-ms=", 0) == 0) {
+            args.run_timeout_ms = std::atoi(a.c_str() + 17);
+            RAKE_USER_CHECK(args.run_timeout_ms > 0,
+                            "bad timeout: " << a);
         } else if (a == "--profile") {
             args.profile = true;
         } else if (a == "--no-dedup") {

@@ -41,8 +41,11 @@ std::string speedup_bar(const BenchmarkResult &r, double max_speedup);
 /**
  * Command-line options shared by the bench drivers:
  * `[--target hvx|neon] [--jobs N] [--json PATH] [--profile]
- * [--no-dedup] [--greedy] [benchmark-name]`. jobs = 0 defers to the
- * RAKE_JOBS environment variable (see CompileOptions::jobs).
+ * [--no-dedup] [--greedy] [--timeout-ms N] [--run-timeout-ms N]
+ * [benchmark-name]`. jobs = 0 defers to the RAKE_JOBS environment
+ * variable (see CompileOptions::jobs); the timeout knobs defer to
+ * RAKE_TIMEOUT_MS / RAKE_RUN_TIMEOUT_MS (the drivers call
+ * resolve_timeout_ms).
  */
 struct BenchArgs {
     int jobs = 0;      ///< --jobs N / --jobs=N
@@ -53,6 +56,8 @@ struct BenchArgs {
     bool profile = false;  ///< --profile: synthesis breakdown
     bool no_dedup = false; ///< --no-dedup: fast-path ablation switch
     bool greedy = false;   ///< --greedy: Neon greedy-mapper ablation
+    int timeout_ms = 0;    ///< --timeout-ms N: per-query budget
+    int run_timeout_ms = 0;///< --run-timeout-ms N: whole-run budget
 };
 
 /** Parse driver flags; throws UserError on malformed input. */

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Cooperative deadlines and cancellation for the synthesis stack.
+ *
+ * Rake's searches are bounded in *issue cost* (the swizzle budget
+ * beta, the sketch grammar depth) but not in wall-clock time, and a
+ * pathological hole can spin the CEGIS or swizzle search far past any
+ * useful budget. A Deadline is a monotonic-clock expiry threaded by
+ * value through the stage options; the hot loops poll it with
+ * check(), which throws TimeoutError on expiry. The throw is an
+ * internal unwinding mechanism only: the public entry points
+ * (synth::select_instructions and friends) catch it at the query
+ * boundary and turn it into a structured SynthStatus::TimedOut plus a
+ * greedy-degraded result, so embedders never see the exception.
+ *
+ * Polls are cheap by construction: an inactive (default) deadline is
+ * a single branch, and an active one only reads the clock every
+ * kStride polls, caching the expired bit once it fires. When no
+ * deadline is set the polled loops behave bit-identically to a build
+ * without this header.
+ *
+ * A CancelToken is the clockless half: an externally settable flag
+ * with parent -> child propagation (cancelling a parent cancels every
+ * token derived from it, never the reverse). The parallel driver uses
+ * one to tell in-flight tasks that the pool is shutting down.
+ */
+#ifndef RAKE_SUPPORT_DEADLINE_H
+#define RAKE_SUPPORT_DEADLINE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace rake {
+
+/**
+ * Thrown by Deadline::check() when the budget is exhausted. Derives
+ * from std::runtime_error directly — deliberately NOT from UserError,
+ * which several search loops catch and swallow as "candidate does not
+ * apply"; a timeout must unwind all the way to the query boundary.
+ */
+class TimeoutError : public std::runtime_error
+{
+  public:
+    explicit TimeoutError(const std::string &what)
+        : std::runtime_error("deadline expired during " + what)
+    {
+    }
+};
+
+/**
+ * A cancellation flag shared between the requester and the work it
+ * cancels. Tokens form a tree: child() derives a token that observes
+ * its parent's cancellation (and any ancestor's) but can also be
+ * cancelled on its own without affecting the parent.
+ */
+class CancelToken
+{
+  public:
+    /** An invalid token: never cancelled, cancel() is a no-op. */
+    CancelToken() = default;
+
+    /** A fresh, valid, un-cancelled root token. */
+    static CancelToken
+    root()
+    {
+        CancelToken t;
+        t.state_ = std::make_shared<State>();
+        return t;
+    }
+
+    /** Derive a token that inherits this one's cancellation. */
+    CancelToken
+    child() const
+    {
+        auto s = std::make_shared<State>();
+        s->parent = state_;
+        CancelToken t;
+        t.state_ = std::move(s);
+        return t;
+    }
+
+    bool valid() const { return state_ != nullptr; }
+
+    /** Cancel this token and, transitively, every child. */
+    void
+    cancel() const
+    {
+        if (state_)
+            state_->flag.store(true, std::memory_order_release);
+    }
+
+    /** Whether this token or any ancestor has been cancelled. */
+    bool
+    cancelled() const
+    {
+        for (const State *s = state_.get(); s != nullptr;
+             s = s->parent.get()) {
+            if (s->flag.load(std::memory_order_acquire))
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    struct State {
+        // mutable: cancel() must work through the shared const view.
+        mutable std::atomic<bool> flag{false};
+        std::shared_ptr<const State> parent;
+    };
+
+    std::shared_ptr<const State> state_;
+};
+
+/**
+ * A wall-clock budget plus an optional CancelToken, polled
+ * cooperatively by the synthesis loops. Copyable by value: stage
+ * options carry one, and child stages combine theirs with the
+ * caller's via sooner().
+ */
+class Deadline
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Unlimited: never expires, polls cost one branch. */
+    Deadline() = default;
+
+    /** Expire `ms` milliseconds from now (ms <= 0 expires at once). */
+    static Deadline
+    after_ms(int64_t ms)
+    {
+        return at(Clock::now() + std::chrono::milliseconds(ms));
+    }
+
+    /** Expire at an absolute monotonic-clock instant. */
+    static Deadline
+    at(Clock::time_point expiry)
+    {
+        Deadline d;
+        d.has_expiry_ = true;
+        d.expiry_ = expiry;
+        return d;
+    }
+
+    /** This deadline, additionally observing `token`. */
+    Deadline
+    with_token(CancelToken token) const
+    {
+        Deadline d = *this;
+        d.token_ = std::move(token);
+        return d;
+    }
+
+    /** Whether any poll can ever fire (expiry or valid token set). */
+    bool active() const { return has_expiry_ || token_.valid(); }
+
+    bool has_expiry() const { return has_expiry_; }
+    Clock::time_point expiry() const { return expiry_; }
+    const CancelToken &token() const { return token_; }
+
+    /**
+     * The stricter of two deadlines: minimum expiry instant. When
+     * both carry a token this one's wins (a deadline observes one
+     * token; the synthesis stack only ever layers a run-level token
+     * under per-query expiries, so the restriction never bites).
+     */
+    Deadline
+    sooner(const Deadline &other) const
+    {
+        Deadline d = *this;
+        if (other.has_expiry_ &&
+            (!d.has_expiry_ || other.expiry_ < d.expiry_)) {
+            d.has_expiry_ = true;
+            d.expiry_ = other.expiry_;
+        }
+        if (!d.token_.valid())
+            d.token_ = other.token_;
+        return d;
+    }
+
+    /**
+     * Cheap poll: has the budget run out (or the token fired)? The
+     * clock is only read every kStride calls; once expired, always
+     * expired (the bit is cached). const so options structs can stay
+     * const at the poll sites — the poll state is bookkeeping, not
+     * semantics.
+     */
+    bool
+    expired() const
+    {
+        if (!active())
+            return false;
+        if (expired_)
+            return true;
+        if (token_.valid() && token_.cancelled()) {
+            expired_ = true;
+            return true;
+        }
+        if (!has_expiry_)
+            return false;
+        if ((polls_++ % kStride) != 0)
+            return false;
+        if (Clock::now() >= expiry_) {
+            expired_ = true;
+            return true;
+        }
+        return false;
+    }
+
+    /** Poll and throw TimeoutError("deadline expired during <what>"). */
+    void
+    check(const char *what) const
+    {
+        if (expired())
+            throw TimeoutError(what);
+    }
+
+  private:
+    // Stride between clock reads. Poll sites sit inside per-candidate
+    // loops whose iterations cost microseconds, so a handful of
+    // skipped reads keeps the overshoot far below any realistic
+    // budget while making the common (unexpired) poll branch-only.
+    static constexpr unsigned kStride = 8;
+
+    bool has_expiry_ = false;
+    Clock::time_point expiry_{};
+    CancelToken token_;
+    mutable unsigned polls_ = 0;
+    mutable bool expired_ = false;
+};
+
+/**
+ * Resolve a timeout knob: an explicit positive request wins, then a
+ * positive integer in the named environment variable, then 0 (no
+ * deadline). Shared by every CLI that exposes --timeout-ms /
+ * RAKE_TIMEOUT_MS and --run-timeout-ms / RAKE_RUN_TIMEOUT_MS.
+ */
+inline int
+resolve_timeout_ms(int requested, const char *env_var)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv(env_var)) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    return 0;
+}
+
+} // namespace rake
+
+#endif // RAKE_SUPPORT_DEADLINE_H

@@ -24,12 +24,14 @@
 #include <utility>
 #include <vector>
 
+#include "support/deadline.h"
+
 namespace rake {
 
 class ThreadPool
 {
   public:
-    explicit ThreadPool(int workers)
+    explicit ThreadPool(int workers) : cancel_(CancelToken::root())
     {
         if (workers < 1)
             workers = 1;
@@ -41,8 +43,15 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
+    /**
+     * Shutdown cancels: tasks still queued are dropped (they never
+     * run) and the pool's CancelToken fires so deadline-aware tasks
+     * already running wind down at their next poll. Drivers that want
+     * every task to run call wait() first — parallel_for does.
+     */
     ~ThreadPool()
     {
+        cancel_pending();
         {
             std::unique_lock<std::mutex> lock(mutex_);
             stop_ = true;
@@ -53,6 +62,39 @@ class ThreadPool
     }
 
     int workers() const { return static_cast<int>(threads_.size()); }
+
+    /**
+     * A token observed by cooperative tasks: derive per-task deadlines
+     * from it (Deadline::with_token) and cancel_pending() — or pool
+     * destruction — interrupts them at their next poll.
+     */
+    const CancelToken &cancel_token() const { return cancel_; }
+
+    /**
+     * Drop every not-yet-started task and fire the cancel token.
+     * Running tasks are not interrupted preemptively — cancellation
+     * is cooperative — but wait() returns as soon as they finish,
+     * instead of after the whole queue drains. Returns the number of
+     * tasks dropped.
+     */
+    int
+    cancel_pending()
+    {
+        std::queue<std::function<void()>> dropped;
+        int n = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            dropped.swap(queue_);
+            n = static_cast<int>(dropped.size());
+            outstanding_ -= n;
+            if (outstanding_ == 0)
+                drained_.notify_all();
+        }
+        cancel_.cancel();
+        // `dropped` destructs outside the lock: task closures can own
+        // arbitrary captures whose destructors must not deadlock.
+        return n;
+    }
 
     /** Enqueue one task. Must not be called after the destructor runs. */
     void
@@ -118,6 +160,7 @@ class ThreadPool
     std::condition_variable drained_;
     std::queue<std::function<void()>> queue_;
     std::vector<std::thread> threads_;
+    CancelToken cancel_;
     int outstanding_ = 0;
     bool stop_ = false;
     std::exception_ptr error_;

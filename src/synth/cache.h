@@ -70,12 +70,15 @@ template <typename Result> class BasicSynthCache
      * One cache slot. `done` flips exactly once, under the cache
      * mutex; `result` is nullopt while in flight and also when the
      * owning synthesis failed (failures are cached: they are as
-     * deterministic as successes).
+     * deterministic as successes). A deadline-aborted synthesis is
+     * *not* a failure — the owner retract()s the entry instead, so a
+     * timeout never poisons later, unhurried queries.
      */
     struct Entry {
         hir::ExprPtr expr;  ///< key expression (deep-compared)
         uint64_t fingerprint = 0;
         bool done = false;
+        bool aborted = false; ///< retracted: waiters must re-acquire
         std::optional<Result> result;
     };
     using EntryPtr = std::shared_ptr<Entry>;
@@ -85,37 +88,60 @@ template <typename Result> class BasicSynthCache
      * is published if another thread is still synthesizing it, then
      * returns it with *owner = false. On a miss, installs an
      * in-flight entry and returns it with *owner = true: the caller
-     * MUST publish() it exactly once (publishing a failure is fine),
-     * or every later lookup of the key deadlocks.
+     * MUST publish() or retract() it exactly once (publishing a
+     * failure is fine), or every later lookup of the key deadlocks.
+     *
+     * A waiter whose entry gets retract()ed re-scans and may become
+     * the new owner. A waiter whose own `deadline` expires while
+     * blocked throws TimeoutError — its budget is spent even though
+     * it never synthesized anything.
      */
     EntryPtr
-    acquire(const hir::ExprPtr &expr, uint64_t fingerprint, bool *owner)
+    acquire(const hir::ExprPtr &expr, uint64_t fingerprint, bool *owner,
+            const Deadline &deadline = {})
     {
         const size_t bucket = detail::cache_mix(expr->hash(), fingerprint);
         std::unique_lock<std::mutex> lock(mutex_);
-        std::vector<EntryPtr> &slots = table_[bucket];
-        for (const EntryPtr &slot : slots) {
-            if (slot->fingerprint != fingerprint ||
-                !hir::equal(slot->expr, expr))
-                continue;
-            // Copy the shared_ptr: waiting releases the mutex, and a
-            // concurrent insert may reallocate the bucket vector.
-            EntryPtr e = slot;
+        for (;;) {
+            std::vector<EntryPtr> &slots = table_[bucket];
+            EntryPtr e;
+            for (const EntryPtr &slot : slots) {
+                if (slot->fingerprint == fingerprint &&
+                    hir::equal(slot->expr, expr)) {
+                    // Copy the shared_ptr: waiting releases the
+                    // mutex, and a concurrent insert may reallocate
+                    // the bucket vector.
+                    e = slot;
+                    break;
+                }
+            }
+            if (!e) {
+                auto entry = std::make_shared<Entry>();
+                entry->expr = expr;
+                entry->fingerprint = fingerprint;
+                table_[bucket].push_back(entry);
+                ++stats_.misses;
+                ++stats_.entries;
+                *owner = true;
+                return entry;
+            }
+            // Another thread may still be synthesizing this key;
+            // block until it publishes rather than duplicating work —
+            // but no longer than the waiter's own deadline.
+            if (deadline.has_expiry()) {
+                if (!published_.wait_until(lock, deadline.expiry(),
+                                           [&e] { return e->done; }))
+                    throw TimeoutError("waiting on an in-flight "
+                                       "synthesis of the same goal");
+            } else {
+                published_.wait(lock, [&e] { return e->done; });
+            }
+            if (e->aborted)
+                continue; // retracted by a timed-out owner: retry
             ++stats_.hits;
-            // Another thread may still be synthesizing this key; block
-            // until it publishes rather than duplicating work.
-            published_.wait(lock, [&e] { return e->done; });
             *owner = false;
             return e;
         }
-        auto entry = std::make_shared<Entry>();
-        entry->expr = expr;
-        entry->fingerprint = fingerprint;
-        slots.push_back(entry);
-        ++stats_.misses;
-        ++stats_.entries;
-        *owner = true;
-        return entry;
     }
 
     /** Publish the owner's outcome and wake all waiters. */
@@ -125,6 +151,39 @@ template <typename Result> class BasicSynthCache
         {
             std::unique_lock<std::mutex> lock(mutex_);
             entry->result = std::move(result);
+            entry->done = true;
+        }
+        published_.notify_all();
+    }
+
+    /**
+     * The owner's other exit: its synthesis was aborted by a deadline,
+     * so the outcome says nothing about the key. Removes the entry
+     * from the table (a later query synthesizes afresh) and wakes
+     * waiters, which re-acquire. The retraction is not counted as a
+     * hit or an entry — from the stats' perspective the aborted
+     * lookup was a miss that produced nothing.
+     */
+    void
+    retract(const EntryPtr &entry)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            const size_t bucket = detail::cache_mix(
+                entry->expr->hash(), entry->fingerprint);
+            auto it = table_.find(bucket);
+            if (it != table_.end()) {
+                auto &slots = it->second;
+                for (size_t i = 0; i < slots.size(); ++i) {
+                    if (slots[i] == entry) {
+                        slots.erase(slots.begin() +
+                                    static_cast<ptrdiff_t>(i));
+                        --stats_.entries;
+                        break;
+                    }
+                }
+            }
+            entry->aborted = true;
             entry->done = true;
         }
         published_.notify_all();

@@ -125,6 +125,10 @@ class Lifter
     first_verified(const ExprPtr &e, const std::vector<UExprPtr> &cands,
                    QueryStats &qs)
     {
+        // Candidate generation between queries is cheap but not free;
+        // poll here too so lifting honors the deadline even when a
+        // rule emits no verifiable candidates.
+        verifier_.options().deadline.check("lifting");
         for (const UExprPtr &c : cands) {
             if (accept(e, c, qs))
                 return c;

@@ -34,6 +34,9 @@ class CoreLowerer final : public backend::LowerDriver
         : verifier_(verifier), isa_(isa), opts_(opts),
           cand_(isa.make_evaluator())
     {
+        // Hand the backend the wall-clock budget so its swizzle
+        // solver polls the same deadline the sketch loop does.
+        isa_.set_deadline(opts_.deadline);
     }
 
     std::optional<backend::InstrHandle>
@@ -86,6 +89,8 @@ class CoreLowerer final : public backend::LowerDriver
     std::optional<Impl>
     lower(const UExprPtr &u, Layout layout)
     {
+        opts_.deadline.check("lowering");
+
         const auto key = std::make_pair(u.get(), layout);
         auto it = memo_.find(key);
         if (it != memo_.end())
@@ -99,6 +104,7 @@ class CoreLowerer final : public backend::LowerDriver
         const bool trace = std::getenv("RAKE_TRACE") != nullptr;
         std::optional<Impl> best;
         for (backend::Sketch &sk : sketches) {
+            opts_.deadline.check("sketch enumeration");
             if (!sk.defined())
                 continue;
             if (!verify_sketch(u, layout, sk)) {

@@ -42,6 +42,14 @@ struct LowerOptions {
     bool layouts = true;       ///< parameterize over data layouts
     bool lane0_pruning = true; ///< quick lane-0 sketch rejection (§4.1)
     int swizzle_budget = 8;    ///< instruction budget per hole
+
+    /**
+     * Wall-clock budget polled between sketches and inside both
+     * swizzle solvers (the backend receives it via
+     * TargetISA::set_deadline). Excluded from the cache fingerprint:
+     * a deadline aborts a search, it never changes its answer.
+     */
+    Deadline deadline;
 };
 
 /** Instrumentation for Table 1. */

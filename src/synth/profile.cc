@@ -24,6 +24,10 @@ void
 add_run(SynthProfile &p, const ResultT &r)
 {
     ++p.runs;
+    if (r.status == SynthStatus::TimedOut)
+        ++p.timeouts;
+    if (r.degraded)
+        ++p.degraded;
     if (r.cache_hit) {
         // Cached runs carry the original synthesis's statistics for
         // Table 1, but no time was spent re-deriving them; folding
@@ -72,6 +76,8 @@ SynthProfile::merge(const SynthProfile &o)
     backtracks += o.backtracks;
     runs += o.runs;
     cache_hits += o.cache_hits;
+    timeouts += o.timeouts;
+    degraded += o.degraded;
 }
 
 double
@@ -152,6 +158,11 @@ SynthProfile::to_string() const
            << 100.0 * dedup / queries << "% of queries)";
     os << ", " << refhits << " reference-cache hits, "
        << swizzle.memo_hits << " swizzle memo hits\n";
+    // Emitted only when a deadline actually fired, so --profile output
+    // with no (or a generous) --timeout-ms stays bit-identical.
+    if (timeouts > 0 || degraded > 0)
+        os << "  deadlines: " << timeouts << " timed out, " << degraded
+           << " degraded to greedy selection\n";
     return os.str();
 }
 

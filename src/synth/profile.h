@@ -33,6 +33,8 @@ struct SynthProfile {
 
     int runs = 0;       ///< syntheses folded into this profile
     int cache_hits = 0; ///< runs answered by the cross-expression cache
+    int timeouts = 0;   ///< runs aborted by the wall-clock deadline
+    int degraded = 0;   ///< runs that fell back to the greedy selector
 
     /** Fold one synthesis result into the profile. */
     void add(const RakeResult &r);

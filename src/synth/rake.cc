@@ -1,12 +1,43 @@
 #include "synth/rake.h"
 
+#include "baseline/halide_optimizer.h"
 #include "hir/simplify.h"
 #include "support/error.h"
 #include "synth/cache.h"
 
 namespace rake::synth {
 
+const char *
+to_string(SynthStatus status)
+{
+    switch (status) {
+      case SynthStatus::Ok:
+        return "ok";
+      case SynthStatus::NoSolution:
+        return "no_solution";
+      case SynthStatus::TimedOut:
+        return "timed_out";
+      case SynthStatus::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
 namespace {
+
+/**
+ * Stage options with the query deadline folded in. The per-stage
+ * deadlines stay combinable so an embedder can still bound one stage
+ * tighter than the whole query.
+ */
+RakeOptions
+with_deadline(const RakeOptions &opts)
+{
+    RakeOptions o = opts;
+    o.verifier.deadline = o.verifier.deadline.sooner(o.deadline);
+    o.lower.deadline = o.lower.deadline.sooner(o.deadline);
+    return o;
+}
 
 /** The three-stage synthesis proper, uncached. */
 std::optional<RakeResult>
@@ -77,25 +108,71 @@ synthesize_for(const hir::ExprPtr &normalized, backend::TargetISA &isa,
     return result;
 }
 
+/**
+ * Graceful degradation on timeout: the greedy baseline's program,
+ * tagged TimedOut + degraded. The baseline is pattern matching, not
+ * search, so it runs deadline-free — the pipeline always gets a
+ * runnable implementation back within a bounded epilogue.
+ */
+RakeResult
+degrade_to_baseline(const hir::ExprPtr &expr, const RakeOptions &opts)
+{
+    RakeResult result;
+    result.instr = baseline::select_instructions(expr, opts.target);
+    result.status = SynthStatus::TimedOut;
+    result.degraded = true;
+    return result;
+}
+
+std::optional<BackendRakeResult>
+degrade_to_greedy(const hir::ExprPtr &expr,
+                  const backend::TargetISA &isa)
+{
+    auto greedy = isa.greedy_select(expr);
+    if (!greedy)
+        return std::nullopt;
+    BackendRakeResult result;
+    result.instr = std::move(*greedy);
+    result.status = SynthStatus::TimedOut;
+    result.degraded = true;
+    return result;
+}
+
 } // namespace
 
 std::optional<RakeResult>
-select_instructions(const hir::ExprPtr &expr, const RakeOptions &opts)
+select_instructions(const hir::ExprPtr &expr, const RakeOptions &raw_opts)
 {
     RAKE_USER_CHECK(expr != nullptr, "null expression");
+    const RakeOptions opts = with_deadline(raw_opts);
 
     // Normalize the input the way Halide's lowering would have.
     hir::ExprPtr normalized = hir::simplify(expr);
 
-    if (!opts.use_cache)
-        return synthesize(expr, normalized, opts);
+    if (!opts.use_cache) {
+        try {
+            return synthesize(expr, normalized, opts);
+        } catch (const TimeoutError &) {
+            return degrade_to_baseline(expr, opts);
+        }
+    }
 
     // The cache keys on the *normalized* expression: syntactically
     // different inputs that simplify to the same DAG share one entry.
+    // The deadline is deliberately not part of the fingerprint — it
+    // can only abort a run, never change a completed run's answer, so
+    // completed results are valid under any budget.
     SynthCache &cache = synthesis_cache();
     const uint64_t fp = options_fingerprint(opts);
     bool owner = false;
-    SynthCache::EntryPtr entry = cache.acquire(normalized, fp, &owner);
+    SynthCache::EntryPtr entry;
+    try {
+        entry = cache.acquire(normalized, fp, &owner, opts.deadline);
+    } catch (const TimeoutError &) {
+        // Budget spent waiting on another thread's in-flight
+        // synthesis of the same goal.
+        return degrade_to_baseline(expr, opts);
+    }
     if (!owner) {
         std::optional<RakeResult> cached = entry->result;
         if (cached)
@@ -105,10 +182,16 @@ select_instructions(const hir::ExprPtr &expr, const RakeOptions &opts)
 
     // This thread owns the in-flight entry: synthesize and publish,
     // even when synthesis throws (publish a failure so waiters do not
-    // block forever; the exception still propagates).
+    // block forever; the exception still propagates). A timeout is
+    // the exception to the exception: the entry is *retracted*, never
+    // published, so an aborted search cannot be mistaken for a
+    // deterministic "no solution".
     std::optional<RakeResult> result;
     try {
         result = synthesize(expr, normalized, opts);
+    } catch (const TimeoutError &) {
+        cache.retract(entry);
+        return degrade_to_baseline(expr, opts);
     } catch (...) {
         cache.publish(entry, std::nullopt);
         throw;
@@ -119,14 +202,20 @@ select_instructions(const hir::ExprPtr &expr, const RakeOptions &opts)
 
 std::optional<BackendRakeResult>
 select_instructions_for(const hir::ExprPtr &expr, backend::TargetISA &isa,
-                        const RakeOptions &opts)
+                        const RakeOptions &raw_opts)
 {
     RAKE_USER_CHECK(expr != nullptr, "null expression");
+    const RakeOptions opts = with_deadline(raw_opts);
 
     hir::ExprPtr normalized = hir::simplify(expr);
 
-    if (!opts.use_cache)
-        return synthesize_for(normalized, isa, opts);
+    if (!opts.use_cache) {
+        try {
+            return synthesize_for(normalized, isa, opts);
+        } catch (const TimeoutError &) {
+            return degrade_to_greedy(expr, isa);
+        }
+    }
 
     // One table per backend name; the backend name is also folded
     // into the fingerprint so a rename never aliases stale entries.
@@ -135,8 +224,12 @@ select_instructions_for(const hir::ExprPtr &expr, backend::TargetISA &isa,
     const uint64_t fp = detail::cache_mix(
         options_fingerprint(opts), std::hash<std::string>()(backend));
     bool owner = false;
-    BackendSynthCache::EntryPtr entry =
-        cache.acquire(normalized, fp, &owner);
+    BackendSynthCache::EntryPtr entry;
+    try {
+        entry = cache.acquire(normalized, fp, &owner, opts.deadline);
+    } catch (const TimeoutError &) {
+        return degrade_to_greedy(expr, isa);
+    }
     if (!owner) {
         std::optional<BackendRakeResult> cached = entry->result;
         if (cached)
@@ -147,6 +240,9 @@ select_instructions_for(const hir::ExprPtr &expr, backend::TargetISA &isa,
     std::optional<BackendRakeResult> result;
     try {
         result = synthesize_for(normalized, isa, opts);
+    } catch (const TimeoutError &) {
+        cache.retract(entry);
+        return degrade_to_greedy(expr, isa);
     } catch (...) {
         cache.publish(entry, std::nullopt);
         throw;

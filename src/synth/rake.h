@@ -12,11 +12,28 @@
 
 #include <optional>
 
+#include "support/deadline.h"
 #include "synth/lift.h"
 #include "synth/lower.h"
 #include "synth/z3_verify.h"
 
 namespace rake::synth {
+
+/**
+ * Structured outcome of one selection query (the timeout taxonomy).
+ * `Error` is reserved for the embedder catching a non-timeout
+ * exception at its own boundary; the entry points here either return
+ * one of the first three or propagate the exception.
+ */
+enum class SynthStatus {
+    Ok,         ///< verified implementation within every budget
+    NoSolution, ///< search exhausted: no implementation exists within
+                ///< the cost budgets (deterministic, cacheable)
+    TimedOut,   ///< aborted by the wall-clock deadline (never cached)
+    Error,      ///< synthesis raised a non-timeout error
+};
+
+const char *to_string(SynthStatus status);
 
 /** Configuration of one Rake run. */
 struct RakeOptions {
@@ -26,6 +43,18 @@ struct RakeOptions {
     bool z3_prove = false;  ///< final SMT proof of the selected code
     uint64_t seed = 1;      ///< example-pool seed
     bool use_cache = true;  ///< consult the cross-expression cache
+
+    /**
+     * Wall-clock budget for this query. Combined (sooner wins) into
+     * the verifier and lowering deadlines, so one knob bounds every
+     * stage. On expiry select_instructions* returns a degraded
+     * result (status = TimedOut, instr = the greedy baseline's
+     * program) instead of hanging or throwing. Excluded from the
+     * cache fingerprint: a deadline aborts runs, it never changes a
+     * completed run's answer, so completed results are shared across
+     * budgets.
+     */
+    Deadline deadline;
 };
 
 /** Everything a Rake run produces. */
@@ -43,12 +72,25 @@ struct RakeResult {
      * stay bit-identical whether or not a run was cached.
      */
     bool cache_hit = false;
+
+    SynthStatus status = SynthStatus::Ok;
+
+    /**
+     * True when the deadline expired and `instr` is the greedy
+     * baseline's program rather than a synthesized one. The stage
+     * statistics are those of the aborted search; degraded results
+     * are never stored in the cross-expression cache.
+     */
+    bool degraded = false;
 };
 
 /**
  * Run instruction selection on one vector expression. Returns
  * nullopt when Rake cannot produce a verified implementation (the
- * caller should fall back to its default selector).
+ * caller should fall back to its default selector). When
+ * opts.deadline expires mid-search the call instead returns a
+ * *degraded* result: status = TimedOut and the greedy baseline's
+ * program as `instr`, so the pipeline always has something runnable.
  */
 std::optional<RakeResult> select_instructions(const hir::ExprPtr &expr,
                                               const RakeOptions &opts
@@ -67,6 +109,10 @@ struct BackendRakeResult {
 
     /** See RakeResult::cache_hit. */
     bool cache_hit = false;
+
+    /** See RakeResult::status / RakeResult::degraded. */
+    SynthStatus status = SynthStatus::Ok;
+    bool degraded = false;
 };
 
 /**

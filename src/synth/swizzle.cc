@@ -161,6 +161,11 @@ SwizzleSolver::search(const Arrangement &arr, ScalarType elem,
                       const std::vector<hvx::InstrPtr> &sources,
                       int budget)
 {
+    // Poll before memo writes: a timeout unwinds out of here without
+    // recording anything, so an aborted search can never masquerade
+    // as a memoized "unsat within budget".
+    deadline_.check("swizzle synthesis");
+
     if (budget < 0)
         return std::nullopt;
     const Key key = key_of(arr, elem, sources);

@@ -19,6 +19,7 @@
 #include <unordered_set>
 
 #include "hvx/cost.h"
+#include "support/deadline.h"
 #include "synth/symbolic_vector.h"
 
 namespace rake::synth {
@@ -47,6 +48,13 @@ class SwizzleSolver
      * budget.
      */
     hvx::InstrPtr solve(const Hole &hole, int budget);
+
+    /**
+     * Wall-clock budget polled at every recursive search step; on
+     * expiry the search throws TimeoutError instead of returning
+     * unsat, so a timeout is never memoized as a negative result.
+     */
+    void set_deadline(const Deadline &deadline) { deadline_ = deadline; }
 
   private:
     /**
@@ -92,6 +100,7 @@ class SwizzleSolver
 
     const hvx::Target &target_;
     SwizzleStats &stats_;
+    Deadline deadline_;
     std::unordered_map<Key, Result, KeyHash> memo_;
     std::unordered_set<Key, KeyHash> active_;
     std::map<std::tuple<int, int, int, int, ScalarType>, hvx::InstrPtr>

@@ -131,6 +131,11 @@ Verifier::check_ref(const RefKey &key, const EvaluatorRef &ref,
                     const EvaluatorRef &cand, QueryStats &stats,
                     bool skip_accepted)
 {
+    // The synthesizer's innermost loop doubles as the deadline's
+    // finest-grained poll site: every lifting/sketch/swizzle search
+    // issues queries here, so expiry surfaces within one candidate.
+    opts_.deadline.check("equivalence checking");
+
     const double t0 = now_seconds();
     ++stats.queries;
     auto done = [&](bool result) {
@@ -187,6 +192,7 @@ Verifier::check_ref(const RefKey &key, const EvaluatorRef &ref,
     // rng stream as growing the pool, but allocation-free); a
     // discovered counter-example is *moved* into the persistent set.
     for (int t = 0; t < opts_.trials; ++t) {
+        opts_.deadline.check("randomized trials");
         const Env &env = pool_.next_trial();
         const Value &actual = cand(env);
         const Value &expected = ref(env);

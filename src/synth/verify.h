@@ -37,6 +37,7 @@
 
 #include "base/value.h"
 #include "hir/interp.h"
+#include "support/deadline.h"
 #include "synth/spec.h"
 
 namespace rake::synth {
@@ -66,6 +67,15 @@ struct VerifierOptions {
     int base_examples = 6; ///< corner+random examples always checked
     int trials = 40;       ///< fresh random inputs per verification
     bool dedup = true;     ///< observational-equivalence dedup on/off
+
+    /**
+     * Wall-clock budget polled inside every equivalence query; on
+     * expiry check_ref throws TimeoutError, unwound at the
+     * select_instructions boundary into SynthStatus::TimedOut.
+     * Deliberately excluded from options_fingerprint(): a deadline
+     * can only abort a run, never change a completed run's answer.
+     */
+    Deadline deadline;
 };
 
 /**

@@ -111,6 +111,74 @@ TEST(Executor, RejectsMisalignedWidth)
     EXPECT_THROW(run_tiles_reference(e.ptr(), {}), UserError);
 }
 
+TEST(Executor, RejectsSecondaryInputWithMismatchedSize)
+{
+    // Regression: only the primary input used to be validated, so a
+    // secondary image of the wrong size was silently edge-clamped
+    // into wrong pixels instead of failing.
+    HExpr e = cast(u8, (cast(u16, load(0, u8, 64)) +
+                        cast(u16, load(1, u8, 64))) >>
+                           1);
+    std::map<int, Image> inputs;
+    inputs.emplace(0, Image::synthetic(u8, 64, 4, 1));
+    inputs.emplace(1, Image::synthetic(u8, 128, 4, 2)); // wrong width
+    EXPECT_THROW(run_tiles_reference(e.ptr(), inputs), UserError);
+    hvx::Target target;
+    EXPECT_THROW(
+        run_tiles(baseline::select_instructions(e.ptr(), target),
+                  inputs),
+        UserError);
+
+    inputs.at(1) = Image::synthetic(u8, 64, 8, 2); // wrong height
+    EXPECT_THROW(run_tiles_reference(e.ptr(), inputs), UserError);
+
+    inputs.at(1) = Image::synthetic(u8, 64, 4, 2); // matching: runs
+    EXPECT_NO_THROW(run_tiles_reference(e.ptr(), inputs));
+}
+
+TEST(Executor, RejectsSecondaryInputWithMismatchedElemType)
+{
+    HExpr e = cast(u8, (cast(u16, load(0, u8, 64)) +
+                        cast(u16, load(1, u8, 64))) >>
+                           1);
+    std::map<int, Image> inputs;
+    inputs.emplace(0, Image::synthetic(u8, 64, 4, 1));
+    inputs.emplace(1, Image::synthetic(u16, 64, 4, 2)); // wrong elem
+    EXPECT_THROW(run_tiles_reference(e.ptr(), inputs), UserError);
+    hvx::Target target;
+    EXPECT_THROW(
+        run_tiles(baseline::select_instructions(e.ptr(), target),
+                  inputs),
+        UserError);
+}
+
+TEST(Executor, RejectsMissingReferencedBuffer)
+{
+    HExpr e = cast(u8, (cast(u16, load(0, u8, 64)) +
+                        cast(u16, load(1, u8, 64))) >>
+                           1);
+    std::map<int, Image> inputs;
+    inputs.emplace(0, Image::synthetic(u8, 64, 4, 1)); // no buffer 1
+    EXPECT_THROW(run_tiles_reference(e.ptr(), inputs), UserError);
+    hvx::Target target;
+    EXPECT_THROW(
+        run_tiles(baseline::select_instructions(e.ptr(), target),
+                  inputs),
+        UserError);
+}
+
+TEST(Executor, RejectsUnreferencedInputWithMismatchedSize)
+{
+    // Even an extra input the expression never loads must share the
+    // grid: it is part of the caller's contract, and a stray image is
+    // almost always a bug in the test harness feeding the executor.
+    HExpr e = load(0, u8, 64);
+    std::map<int, Image> inputs;
+    inputs.emplace(0, Image::synthetic(u8, 64, 4, 1));
+    inputs.emplace(7, Image::synthetic(u8, 32, 4, 2));
+    EXPECT_THROW(run_tiles_reference(e.ptr(), inputs), UserError);
+}
+
 TEST(Executor, PsnrBehaviour)
 {
     Image a = Image::synthetic(u8, 64, 4, 1);

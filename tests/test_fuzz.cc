@@ -166,6 +166,65 @@ TEST(FuzzDriver, InjectedBugIsFoundAndShrunk)
     }
 }
 
+TEST(FuzzOracles, PlantedSpinIsAttributedAsHang)
+{
+    // The --inject-spin drill: an infinite loop that only the
+    // per-program deadline can break. The finding must land in the
+    // third attribution kind — a hang, not a crash and not a value
+    // divergence.
+    OracleOptions oracles;
+    oracles.timeout_ms = 50;
+    oracles.inject_spin = true;
+    const hir::ExprPtr e = hir::parse_expr(
+        "(add (load u8x16 0 0 0) (load u8x16 0 1 0))");
+    const CheckResult res = check_expr(e, oracles);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.divergence->oracle, "spin");
+    EXPECT_FALSE(res.divergence->crash);
+    EXPECT_TRUE(res.divergence->hang);
+    EXPECT_NE(res.divergence->detail.find("spin drill"),
+              std::string::npos);
+}
+
+TEST(FuzzDriver, HangsAreCountedAndSkipMinimization)
+{
+    FuzzOptions opts;
+    opts.seed = 3;
+    opts.count = 5;
+    opts.oracles.timeout_ms = 50;
+    opts.oracles.inject_spin = true;
+    const FuzzReport report = run(opts);
+    EXPECT_EQ(report.hangs, 5);
+    EXPECT_EQ(report.crashes, 0);
+    ASSERT_EQ(report.divergences(), 5);
+    for (const Finding &f : report.findings) {
+        EXPECT_TRUE(f.divergence.hang);
+        EXPECT_FALSE(f.divergence.crash);
+        EXPECT_EQ(f.divergence.oracle, "spin");
+        // Hangs skip the minimizer — every shrink probe would burn a
+        // full timeout budget — so the reproducer is the original.
+        EXPECT_TRUE(hir::equal(f.shrunk, f.expr));
+    }
+    EXPECT_NE(report.summary().find("hangs: 5"), std::string::npos);
+}
+
+TEST(FuzzDriver, HangReportIsByteIdenticalAcrossJobCounts)
+{
+    // Deadline expiry is wall-clock nondeterminism by nature; the
+    // *report* still must not be — attribution, counters, and
+    // ordering are functions of (seed, index) alone.
+    FuzzOptions opts;
+    opts.seed = 5;
+    opts.count = 6;
+    opts.oracles.timeout_ms = 50;
+    opts.oracles.inject_spin = true;
+    opts.jobs = 1;
+    const std::string one = run(opts).summary();
+    opts.jobs = 4;
+    const std::string four = run(opts).summary();
+    EXPECT_EQ(one, four);
+}
+
 TEST(FuzzDriver, ReportIsByteIdenticalAcrossJobCounts)
 {
     // Mirrors the fast-path determinism test: per-program seeds are

@@ -6,10 +6,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "hir/builder.h"
 #include "hvx/interp.h"
 #include "sim/linearize.h"
 #include "sim/simulator.h"
+#include "support/rng.h"
 
 namespace rake {
 namespace {
@@ -139,6 +142,129 @@ TEST(Schedule, RenderedScheduleMentionsPackets)
     const std::string s = sim::to_string(st, linearize(v));
     EXPECT_NE(s.find("packets"), std::string::npos);
     EXPECT_NE(s.find("vadd.ub"), std::string::npos);
+}
+
+/**
+ * Independent tally of the schedule's issue demand: the same
+ * issue_count / resource metadata the scheduler consumes, including
+ * the same-row register-reuse rule and the final stores.
+ */
+struct IssueTally {
+    int instructions = 0;
+    int stores = 0;
+    std::array<int, kNumCostedResources> demand = {};
+};
+
+IssueTally
+tally_issues(const InstrPtr &root, const Target &target)
+{
+    IssueTally t;
+    std::set<std::pair<int, int>> rows;
+    for (const InstrPtr &n : linearize(root)) {
+        int issues = issue_count(*n, target);
+        if (n->op() == Opcode::VRead &&
+            !rows.insert({n->load_ref().buffer, n->load_ref().dy})
+                 .second)
+            issues = 0;
+        if (issues == 0)
+            continue;
+        t.demand[static_cast<int>(info(n->op()).resource)] += issues;
+        t.instructions += issues;
+    }
+    t.stores = target.regs_for(root->type());
+    t.instructions += t.stores;
+    return t;
+}
+
+/** A deterministic pseudo-random same-type ALU/load DAG. */
+InstrPtr
+random_dag(uint64_t seed, int ops)
+{
+    Rng rng(seed);
+    std::vector<InstrPtr> pool;
+    for (int i = 0; i < 4; ++i)
+        pool.push_back(read8(static_cast<int>(rng.range(0, 2)),
+                             static_cast<int>(rng.range(-1, 1))));
+    const Opcode kinds[] = {Opcode::VAdd, Opcode::VSub, Opcode::VMin,
+                            Opcode::VMax, Opcode::VAvg};
+    for (int i = 0; i < ops; ++i) {
+        const InstrPtr &a =
+            pool[static_cast<size_t>(rng.range(0, static_cast<int64_t>(pool.size()) - 1))];
+        const InstrPtr &b =
+            pool[static_cast<size_t>(rng.range(0, static_cast<int64_t>(pool.size()) - 1))];
+        pool.push_back(
+            Instr::make(kinds[rng.range(0, 4)], {a, b}));
+    }
+    return pool.back();
+}
+
+TEST(ScheduleProperty, IiDominatesSlotAndResourceBounds)
+{
+    Target target;
+    MachineModel machine;
+    for (uint64_t seed = 1; seed <= 24; ++seed) {
+        const InstrPtr root = random_dag(seed, 2 + seed % 9);
+        const ScheduleStats st = schedule(root, target, machine);
+        const IssueTally t = tally_issues(root, target);
+        EXPECT_EQ(st.instructions, t.instructions) << "seed " << seed;
+        // II can never beat the packet-issue bandwidth...
+        EXPECT_GE(st.initiation_interval,
+                  (t.instructions + machine.slots - 1) / machine.slots)
+            << "seed " << seed;
+        // ...nor the store port...
+        EXPECT_GE(st.initiation_interval, t.stores) << "seed " << seed;
+        // ...nor any per-resource unit bound.
+        for (int r = 0; r < kNumCostedResources; ++r) {
+            const int u = machine.units[static_cast<size_t>(r)];
+            EXPECT_GE(st.initiation_interval,
+                      (t.demand[static_cast<size_t>(r)] + u - 1) / u)
+                << "seed " << seed << " resource " << r;
+        }
+    }
+}
+
+TEST(ScheduleProperty, CyclesMonotoneInIterations)
+{
+    Target target;
+    MachineModel machine;
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        const ScheduleStats st =
+            schedule(random_dag(seed, 5), target, machine);
+        int64_t prev = st.cycles(0);
+        for (int64_t n = 1; n <= 20; ++n) {
+            const int64_t c = st.cycles(n);
+            EXPECT_GE(c, prev) << "seed " << seed << " n " << n;
+            prev = c;
+        }
+    }
+}
+
+TEST(ScheduleProperty, SameRowReuseDropsLoadPortDemand)
+{
+    Target target;
+    // Three same-row reads tally one load issue; three distinct rows
+    // tally three, and the load-port II bound follows the tally.
+    const InstrPtr same = Instr::make(
+        Opcode::VAdd,
+        {Instr::make(Opcode::VAdd, {read8(0), read8(1)}), read8(2)});
+    const InstrPtr rows = Instr::make(
+        Opcode::VAdd,
+        {Instr::make(Opcode::VAdd, {read8(0, -1), read8(0, 0)}),
+         read8(0, 1)});
+    const IssueTally t_same = tally_issues(same, target);
+    const IssueTally t_rows = tally_issues(rows, target);
+    const int load = static_cast<int>(Resource::Load);
+    EXPECT_EQ(t_same.demand[load], 1);
+    EXPECT_EQ(t_rows.demand[load], 3);
+
+    MachineModel machine;
+    const ScheduleStats st_same = schedule(same, target, machine);
+    const ScheduleStats st_rows = schedule(rows, target, machine);
+    EXPECT_LT(st_same.initiation_interval, st_rows.initiation_interval);
+    // With one load port the distinct-row loop is load-bound at
+    // exactly its load demand; the same-row loop is not load-bound.
+    EXPECT_EQ(st_rows.initiation_interval, t_rows.demand[load]);
+    EXPECT_EQ(st_same.initiation_interval, 1);
 }
 
 TEST(Machine, DefaultsAreSane)

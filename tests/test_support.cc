@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <cstdlib>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "support/flat_map.h"
@@ -110,6 +112,46 @@ TEST(ThreadPool, PropagatesFirstException)
     pool.submit([&completed] { ++completed; });
     pool.wait();
     EXPECT_EQ(completed.load(), 8);
+}
+
+TEST(ThreadPool, CancelPendingDropsQueueAndFiresToken)
+{
+    ThreadPool pool(1);
+    EXPECT_TRUE(pool.cancel_token().valid());
+    EXPECT_FALSE(pool.cancel_token().cancelled());
+
+    // Park the single worker on a gate so every later submit stays
+    // queued; the started flag guarantees the parked task has been
+    // dequeued before we count what cancel_pending() drops.
+    std::mutex gate;
+    gate.lock();
+    std::atomic<bool> started{false};
+    std::atomic<int> ran{0};
+    pool.submit([&] {
+        started = true;
+        std::unique_lock<std::mutex> hold(gate);
+        ++ran;
+    });
+    while (!started)
+        std::this_thread::yield();
+    for (int i = 0; i < 5; ++i)
+        pool.submit([&] { ++ran; });
+
+    EXPECT_EQ(pool.cancel_pending(), 5);
+    EXPECT_TRUE(pool.cancel_token().cancelled());
+
+    // The running task is not preempted: it finishes once released,
+    // and wait() returns without the dropped tasks ever running.
+    gate.unlock();
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+
+    // A deadline derived from the pool token observes the cancel, so
+    // cooperative tasks wind down at their next poll.
+    const Deadline d =
+        Deadline().with_token(pool.cancel_token().child());
+    EXPECT_TRUE(d.expired());
+    EXPECT_THROW(d.check("a cancelled pool task"), TimeoutError);
 }
 
 TEST(ParallelFor, CoversEveryIndexAtAnyJobCount)

@@ -255,6 +255,44 @@ TEST(Swizzle, SynthesisCacheKeySeparatesSwizzleBudgets)
               synth::options_fingerprint(b));
 }
 
+TEST(Swizzle, TimedOutQueryIsNotCachedAsNegative)
+{
+    // A deadline-aborted synthesis says nothing about the goal: the
+    // owner must retract its in-flight cache entry, not publish a
+    // failure, or a hurried query would poison every later unhurried
+    // one with a phantom "no solution".
+    using namespace rake::hir;
+    synthesis_cache().clear();
+    HExpr e = cast(u8, (cast(ScalarType::UInt16, load(0, u8, 64)) +
+                        cast(ScalarType::UInt16, load(0, u8, 64, 1)) +
+                        1) >>
+                           1);
+
+    RakeOptions hurried;
+    hurried.deadline = Deadline::after_ms(0);
+    auto first = select_instructions(e.ptr(), hurried);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->status, SynthStatus::TimedOut);
+    EXPECT_TRUE(first->degraded);
+    EXPECT_FALSE(first->cache_hit);
+    ASSERT_NE(first->instr, nullptr); // greedy baseline program
+
+    // The unhurried re-query synthesizes afresh — cache_hit false
+    // proves the timed-out entry was retracted — and succeeds.
+    auto second = select_instructions(e.ptr());
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->status, SynthStatus::Ok);
+    EXPECT_FALSE(second->degraded);
+    EXPECT_FALSE(second->cache_hit);
+    ASSERT_NE(second->instr, nullptr);
+
+    // The completed run is then cached like any other.
+    auto third = select_instructions(e.ptr());
+    ASSERT_TRUE(third.has_value());
+    EXPECT_TRUE(third->cache_hit);
+    EXPECT_TRUE(hvx::equal(third->instr, second->instr));
+}
+
 TEST(Swizzle, QueriesAreCounted)
 {
     SwizzleStats stats;

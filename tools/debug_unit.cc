@@ -2,7 +2,7 @@
  * @file
  * Focused synthesis repros, runnable against either backend:
  *
- *   debug_unit [--target hvx|neon] [--greedy]
+ *   debug_unit [--target hvx|neon] [--greedy] [--timeout-ms N]
  *
  * Probes the shapes that historically regressed — the conv3x3a32
  * inner sum, scalar-weight chains of increasing length, and the
@@ -17,6 +17,7 @@
 #include "neon/cost.h"
 #include "neon/select.h"
 #include "pipeline/report.h"
+#include "support/deadline.h"
 #include "synth/rake.h"
 
 using namespace rake;
@@ -86,6 +87,8 @@ main(int argc, char **argv)
 {
     const pipeline::BenchArgs args =
         pipeline::parse_bench_args(argc, argv);
+    const int timeout_ms =
+        resolve_timeout_ms(args.timeout_ms, "RAKE_TIMEOUT_MS");
 
     int failures = 0;
     for (const Probe &p : probes()) {
@@ -93,24 +96,33 @@ main(int argc, char **argv)
                   << (args.greedy ? ", greedy" : "") << ")\n";
         if (args.target == "hvx") {
             synth::RakeOptions opts;
+            if (timeout_ms > 0)
+                opts.deadline = Deadline::after_ms(timeout_ms);
             auto r = synth::select_instructions(p.expr, opts);
             if (!r) {
                 std::cout << "FAILED\n";
                 ++failures;
                 continue;
             }
+            if (r->degraded)
+                std::cout << "(timed out; greedy degradation)\n";
             std::cout << hvx::to_listing(r->instr)
                       << to_string(hvx::cost_of(r->instr, opts.target))
                       << "\n";
         } else {
             neon::SelectOptions opts;
             opts.greedy = args.greedy;
-            auto n = neon::select_instructions(p.expr, opts);
+            if (timeout_ms > 0)
+                opts.deadline = Deadline::after_ms(timeout_ms);
+            synth::SynthStatus status = synth::SynthStatus::Ok;
+            auto n = neon::select_instructions(p.expr, opts, &status);
             if (!n) {
                 std::cout << "FAILED\n";
                 ++failures;
                 continue;
             }
+            if (status == synth::SynthStatus::TimedOut)
+                std::cout << "(timed out; greedy degradation)\n";
             std::cout << neon::to_listing(*n)
                       << to_string(neon::cost_of(*n, neon::Target{}))
                       << "\n";

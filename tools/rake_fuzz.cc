@@ -4,7 +4,8 @@
  *
  *   rake_fuzz [--seed N] [--count N] [--target hvx|neon|both]
  *             [--jobs N] [--depth N] [--lanes N] [--envs N]
- *             [--no-minimize] [--corpus-dir PATH] [--inject-sub-bug]
+ *             [--timeout-ms N] [--no-minimize] [--corpus-dir PATH]
+ *             [--inject-sub-bug] [--inject-spin]
  *             [--replay FILE|DIR] [--quiet]
  *
  * Default mode generates `count` random HIR programs from `seed` and
@@ -20,6 +21,11 @@
  * --inject-sub-bug enables the documented drill bug (the simplifier
  * oracle sees `a - b` flipped to `b - a`) to demonstrate the
  * find-shrink-persist pipeline end to end.
+ *
+ * --timeout-ms arms a per-program deadline; a program that exhausts
+ * it is reported as a `hang` finding rather than wedging a worker.
+ * --inject-spin (requires --timeout-ms) plants a spin loop to drill
+ * exactly that attribution, the hang analogue of --inject-sub-bug.
  *
  * Exit status: 0 = no divergences, 1 = divergences found, 2 = usage.
  */
@@ -49,8 +55,9 @@ usage(const std::string &msg)
         std::cerr << "rake_fuzz: " << msg << "\n";
     std::cerr << "usage: rake_fuzz [--seed N] [--count N] "
                  "[--target hvx|neon|both] [--jobs N] [--depth N] "
-                 "[--lanes N] [--envs N] [--no-minimize] "
-                 "[--corpus-dir PATH] [--inject-sub-bug] "
+                 "[--lanes N] [--envs N] [--timeout-ms N] "
+                 "[--no-minimize] [--corpus-dir PATH] "
+                 "[--inject-sub-bug] [--inject-spin] "
                  "[--replay FILE|DIR] [--quiet]\n";
     std::exit(2);
 }
@@ -86,6 +93,11 @@ parse_args(int argc, char **argv)
             args.fuzz.gen.lanes = static_cast<int>(int_value(i, a));
         } else if (a == "--envs") {
             args.fuzz.oracles.envs = static_cast<int>(int_value(i, a));
+        } else if (a == "--timeout-ms") {
+            args.fuzz.oracles.timeout_ms =
+                static_cast<int>(int_value(i, a));
+            if (args.fuzz.oracles.timeout_ms <= 0)
+                usage("--timeout-ms must be positive");
         } else if (a == "--target") {
             const std::string t = value(i, a);
             if (t == "hvx") {
@@ -108,12 +120,19 @@ parse_args(int argc, char **argv)
             args.fuzz.minimize = false;
         } else if (a == "--inject-sub-bug") {
             args.fuzz.oracles.inject_sub_swap_bug = true;
+        } else if (a == "--inject-spin") {
+            args.fuzz.oracles.inject_spin = true;
         } else if (a == "--quiet") {
             args.quiet = true;
         } else {
             usage("unknown argument '" + a + "'");
         }
     }
+    // Checked at parse time: inside check_expr a missing deadline
+    // would disarm the spin, silently turning the drill into a no-op.
+    if (args.fuzz.oracles.inject_spin &&
+        args.fuzz.oracles.timeout_ms <= 0)
+        usage("--inject-spin requires --timeout-ms");
     return args;
 }
 
