@@ -13,6 +13,7 @@
 #include "pipeline/benchmarks.h"
 #include "pipeline/report.h"
 #include "support/deadline.h"
+#include "synth/persist.h"
 
 int
 main(int argc, char **argv)
@@ -27,6 +28,7 @@ main(int argc, char **argv)
         resolve_timeout_ms(args.timeout_ms, "RAKE_TIMEOUT_MS");
     opts.run_timeout_ms =
         resolve_timeout_ms(args.run_timeout_ms, "RAKE_RUN_TIMEOUT_MS");
+    opts.rake.cache_dir = synth::resolve_cache_dir(args.cache_dir);
     std::vector<BenchmarkResult> results;
     std::vector<double> speedups;
 
@@ -65,9 +67,13 @@ main(int argc, char **argv)
             ++tied;
     }
     int timeouts = 0, degraded = 0;
+    int64_t disk_hits = 0, disk_writes = 0, disk_invalid = 0;
     for (const BenchmarkResult &r : results) {
         timeouts += r.timeouts;
         degraded += r.degraded;
+        disk_hits += r.disk_hits;
+        disk_writes += r.disk_writes;
+        disk_invalid += r.disk_invalid;
     }
     // Emitted only when a deadline fired, keeping no-timeout output
     // bit-identical.
@@ -75,6 +81,13 @@ main(int argc, char **argv)
         std::cout << "\ndeadlines: " << timeouts
                   << " expression(s) timed out, " << degraded
                   << " shipped the greedy fallback (marked degraded)\n";
+    // Same rule for the persistent tier: silent without --cache-dir,
+    // and cycle counts are identical either way — a warm run replays
+    // the very same selections.
+    if (disk_hits > 0 || disk_writes > 0 || disk_invalid > 0)
+        std::cout << "\npersistent cache: " << disk_hits << " hits, "
+                  << disk_writes << " writes, " << disk_invalid
+                  << " invalidated\n";
     std::cout << "\nsummary: geo-mean speedup " << fmt(geomean(speedups))
               << "x over " << speedups.size() << " benchmarks; "
               << improved << " improved (>3%), " << tied

@@ -21,18 +21,31 @@
  * queries ship the greedy degradation and the JSON gains `timeouts` /
  * `degraded` counts (emitted only when nonzero).
  *
+ * `--cache-dir PATH` (or RAKE_CACHE_DIR) points the persistent
+ * synthesis cache at a directory: the first run writes every solved
+ * case, a second run answers them all from disk (the JSON gains
+ * `disk_hits`/`disk_writes` counts and a per-case `selection`
+ * s-expression, emitted only in cache-dir runs so plain output stays
+ * bit-identical). Note use_cache=false only disables the *in-memory*
+ * sharing tier — a warm directory is still honored, which is exactly
+ * what the CI warm-cache smoke exercises.
+ *
  *   micro_synth [--target hvx|neon] [--iters K] [--jobs N]
  *               [--json PATH] [--profile] [--no-dedup] [--greedy]
- *               [--timeout-ms N] [--run-timeout-ms N] [case-name]
+ *               [--timeout-ms N] [--run-timeout-ms N]
+ *               [--cache-dir PATH] [case-name]
  */
 #include <chrono>
 #include <iostream>
 
 #include "backend/neon_backend.h"
 #include "hir/builder.h"
+#include "hvx/sexpr.h"
 #include "neon/select.h"
 #include "pipeline/report.h"
 #include "support/deadline.h"
+#include "synth/cache.h"
+#include "synth/persist.h"
 #include "synth/profile.h"
 #include "synth/rake.h"
 
@@ -81,9 +94,23 @@ main(int argc, char **argv)
 
     synth::RakeOptions opts;
     opts.use_cache = false; // measure the engine, not the cache
+    opts.cache_dir = synth::resolve_cache_dir(args.cache_dir);
     opts.verifier.dedup = !args.no_dedup;
     if (args.target == "neon")
         opts.lower.layouts = false; // Neon is linear-only
+
+    // Disk-tier counters live on the per-flavor cache singletons;
+    // fold both so either target reports through one block.
+    auto disk_stats = [] {
+        synth::CacheStats s = synth::synthesis_cache().stats();
+        const synth::CacheStats n =
+            synth::backend_synthesis_cache("neon").stats();
+        s.disk_hits += n.disk_hits;
+        s.disk_writes += n.disk_writes;
+        s.disk_invalid += n.disk_invalid;
+        return s;
+    };
+    const synth::CacheStats disk_before = disk_stats();
 
     const int timeout_ms =
         resolve_timeout_ms(args.timeout_ms, "RAKE_TIMEOUT_MS");
@@ -112,6 +139,10 @@ main(int argc, char **argv)
         ++matched;
         const ExprPtr e = conv_expr(c.taps, 128);
         synth::SynthProfile profile;
+        // The selected code, as a canonical s-expression. Captured
+        // only in --cache-dir runs, where the CI warm-cache smoke
+        // diffs it between a cold and a warm run.
+        std::string selection;
         double sum = 0.0, best = 0.0;
         for (int k = 0; k < iters; ++k) {
             // Per-query budget armed at query start; the whole-run
@@ -125,8 +156,11 @@ main(int argc, char **argv)
             if (args.target == "hvx") {
                 auto rk = synth::select_instructions(e, ropts);
                 ok = rk.has_value();
-                if (rk)
+                if (rk) {
                     profile.add(*rk);
+                    if (!opts.cache_dir.empty() && rk->instr)
+                        selection = hvx::to_sexpr(rk->instr);
+                }
             } else if (args.greedy) {
                 neon::SelectOptions nopts;
                 nopts.greedy = true;
@@ -140,8 +174,11 @@ main(int argc, char **argv)
                 auto isa = backend::make_neon_backend(machine);
                 auto rk = synth::select_instructions_for(e, *isa, ropts);
                 ok = rk.has_value();
-                if (rk)
+                if (rk) {
                     profile.add(*rk);
+                    if (!opts.cache_dir.empty() && rk->instr)
+                        selection = isa->instr_to_sexpr(rk->instr);
+                }
             }
             const double dt = now_seconds() - s0;
             if (!ok) {
@@ -182,6 +219,10 @@ main(int argc, char **argv)
             cj.put("timeouts", profile.timeouts);
         if (profile.degraded > 0)
             cj.put("degraded", profile.degraded);
+        if (profile.disk_hits > 0)
+            cj.put("disk_hits", profile.disk_hits);
+        if (!selection.empty())
+            cj.put("selection", selection);
         if (!cases_json.empty())
             cases_json += ",";
         cases_json += cj.to_string();
@@ -199,6 +240,18 @@ main(int argc, char **argv)
     std::cout << table.to_string();
     if (args.profile)
         std::cout << "\n--- all cases\n" << total_profile.to_string();
+
+    const synth::CacheStats disk_after = disk_stats();
+    const int64_t disk_hits = disk_after.disk_hits - disk_before.disk_hits;
+    const int64_t disk_writes =
+        disk_after.disk_writes - disk_before.disk_writes;
+    const int64_t disk_invalid =
+        disk_after.disk_invalid - disk_before.disk_invalid;
+    if (!opts.cache_dir.empty()) {
+        std::cout << "\npersistent cache (" << opts.cache_dir << "): "
+                  << disk_hits << " hits, " << disk_writes
+                  << " writes, " << disk_invalid << " invalidated\n";
+    }
 
     if (!args.json.empty()) {
         Json j;
@@ -218,6 +271,14 @@ main(int argc, char **argv)
             j.put("timeouts", total_profile.timeouts);
         if (total_profile.degraded > 0)
             j.put("degraded", total_profile.degraded);
+        // Disk counters only when the tier actually did something, so
+        // no-cache-dir JSON stays bit-identical.
+        if (disk_hits > 0)
+            j.put("disk_hits", disk_hits);
+        if (disk_writes > 0)
+            j.put("disk_writes", disk_writes);
+        if (disk_invalid > 0)
+            j.put("disk_invalid", disk_invalid);
         j.put_raw("cases", "[" + cases_json + "]");
         write_text_file(args.json, j.to_string() + "\n");
         std::cout << "\nwrote " << args.json << "\n";

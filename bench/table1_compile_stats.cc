@@ -18,6 +18,11 @@
  * `--target neon` runs the same suite through the Neon TargetISA
  * backend (synthesis statistics only — the VLIW scheduling columns of
  * the HVX pipeline do not apply, and expressions run sequentially).
+ *
+ * `--cache-dir PATH` (or RAKE_CACHE_DIR) enables the persistent
+ * synthesis cache: a warm directory answers repeated suites from
+ * disk, and the report/JSON gain disk_hits / disk_writes /
+ * disk_invalid counters (only when nonzero).
  */
 #include <chrono>
 #include <iostream>
@@ -28,6 +33,7 @@
 #include "support/deadline.h"
 #include "support/thread_pool.h"
 #include "synth/cache.h"
+#include "synth/persist.h"
 
 namespace {
 
@@ -95,6 +101,11 @@ compile_neon_benchmark(const rake::pipeline::Benchmark &bench,
         synth::backend_synthesis_cache("neon").stats();
     result.cache_hits = cache_after.hits - cache_before.hits;
     result.cache_misses = cache_after.misses - cache_before.misses;
+    result.disk_hits = cache_after.disk_hits - cache_before.disk_hits;
+    result.disk_writes =
+        cache_after.disk_writes - cache_before.disk_writes;
+    result.disk_invalid =
+        cache_after.disk_invalid - cache_before.disk_invalid;
     return result;
 }
 
@@ -115,6 +126,7 @@ main(int argc, char **argv)
         resolve_timeout_ms(args.timeout_ms, "RAKE_TIMEOUT_MS");
     opts.run_timeout_ms =
         resolve_timeout_ms(args.run_timeout_ms, "RAKE_RUN_TIMEOUT_MS");
+    opts.rake.cache_dir = synth::resolve_cache_dir(args.cache_dir);
     const bool neon_target = args.target == "neon";
     if (neon_target)
         opts.rake.lower.layouts = false; // Neon is linear-only
@@ -179,6 +191,13 @@ main(int argc, char **argv)
             bj.put("timeouts", r.timeouts);
         if (r.degraded > 0)
             bj.put("degraded", r.degraded);
+        // Likewise for the disk tier: silent without --cache-dir.
+        if (r.disk_hits > 0)
+            bj.put("disk_hits", r.disk_hits);
+        if (r.disk_writes > 0)
+            bj.put("disk_writes", r.disk_writes);
+        if (r.disk_invalid > 0)
+            bj.put("disk_invalid", r.disk_invalid);
         if (!bench_json.empty())
             bench_json += ",";
         bench_json += bj.to_string();
@@ -197,6 +216,12 @@ main(int argc, char **argv)
               << cache.misses << " misses, " << cache.entries
               << " entries (repeated expressions are synthesized "
                  "once and reuse the original run's statistics)\n";
+    if (cache.disk_hits > 0 || cache.disk_writes > 0 ||
+        cache.disk_invalid > 0) {
+        std::cout << "persistent cache: " << cache.disk_hits
+                  << " hits, " << cache.disk_writes << " writes, "
+                  << cache.disk_invalid << " invalidated\n";
+    }
 
     if (args.profile)
         std::cout << "\n" << profile.to_string();
@@ -221,6 +246,12 @@ main(int argc, char **argv)
             j.put("timeouts", profile.timeouts);
         if (profile.degraded > 0)
             j.put("degraded", profile.degraded);
+        if (cache.disk_hits > 0)
+            j.put("disk_hits", cache.disk_hits);
+        if (cache.disk_writes > 0)
+            j.put("disk_writes", cache.disk_writes);
+        if (cache.disk_invalid > 0)
+            j.put("disk_invalid", cache.disk_invalid);
         j.put_raw("benchmarks", "[" + bench_json + "]");
         write_text_file(args.json, j.to_string() + "\n");
         std::cout << "wrote " << args.json << "\n";

@@ -5,6 +5,7 @@
 #include "backend/leaf_util.h"
 #include "baseline/halide_optimizer.h"
 #include "hvx/interp.h"
+#include "hvx/sexpr.h"
 #include "support/error.h"
 #include "synth/sketch.h"
 #include "synth/swizzle.h"
@@ -1502,6 +1503,18 @@ class HvxBackend final : public TargetISA
         // searches, so it runs deadline-free by design.
         return InstrHandle(
             baseline::select_instructions(expr, target_));
+    }
+
+    std::string
+    instr_to_sexpr(const InstrHandle &instr) const override
+    {
+        return hvx::to_sexpr(hvx_cast(instr));
+    }
+
+    InstrHandle
+    instr_from_sexpr(const std::string &text) const override
+    {
+        return hvx::parse_instr(text);
     }
 
   private:

@@ -10,6 +10,7 @@
 #include "backend/leaf_util.h"
 #include "neon/interp.h"
 #include "neon/select.h"
+#include "neon/sexpr.h"
 #include "support/error.h"
 #include "synth/swizzle.h"
 
@@ -1165,6 +1166,18 @@ class NeonBackend final : public TargetISA
         if (!r)
             return std::nullopt;
         return InstrHandle(std::move(*r));
+    }
+
+    std::string
+    instr_to_sexpr(const InstrHandle &instr) const override
+    {
+        return neon::to_sexpr(ncast(instr));
+    }
+
+    InstrHandle
+    instr_from_sexpr(const std::string &text) const override
+    {
+        return neon::parse_instr(text);
     }
 
   private:

@@ -202,6 +202,41 @@ class TargetISA
         (void)expr;
         return std::nullopt;
     }
+
+    /**
+     * Round-trippable s-expression of a complete (hole-free) DAG, for
+     * the persistent cache (synth/persist.h). An empty string means
+     * the backend has no serialization, which disables the disk tier
+     * for it — the in-memory tier and synthesis are unaffected.
+     */
+    virtual std::string
+    instr_to_sexpr(const InstrHandle &instr) const
+    {
+        (void)instr;
+        return {};
+    }
+
+    /**
+     * Inverse of instr_to_sexpr. Throws UserError on malformed input
+     * (the persistent cache treats that as a corrupt entry, i.e. a
+     * miss); returns nullptr when serialization is unsupported.
+     */
+    virtual InstrHandle
+    instr_from_sexpr(const std::string &text) const
+    {
+        (void)text;
+        return nullptr;
+    }
+
+    /**
+     * Version keys for persisted entries. Bump grammar_version() when
+     * the sketch/swizzle repertoire changes and cost_model_version()
+     * when the cost model changes: either bump self-invalidates every
+     * on-disk entry written under the old key, so a stale cache can
+     * never replay a selection today's search would not make.
+     */
+    virtual int grammar_version() const { return 1; }
+    virtual int cost_model_version() const { return 1; }
 };
 
 } // namespace rake::backend

@@ -341,6 +341,7 @@ select_instructions(const hir::ExprPtr &expr, const SelectOptions &opts,
     ropts.seed = opts.seed;
     ropts.use_cache = opts.use_cache;
     ropts.deadline = opts.deadline;
+    ropts.cache_dir = opts.cache_dir;
     auto r = synth::select_instructions_for(expr, *isa, ropts);
     if (!r || !r->instr) {
         if (status)

@@ -45,6 +45,10 @@ struct SelectOptions {
      */
     Deadline deadline;
 
+    /** Persistent-cache directory (see synth::RakeOptions::cache_dir);
+     *  "" disables the disk tier. The greedy path never consults it. */
+    std::string cache_dir;
+
     SelectOptions()
     {
         // Neon compute ops never reorder lanes, so the §5.1 layout

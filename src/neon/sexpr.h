@@ -1,0 +1,25 @@
+/**
+ * @file
+ * S-expression interchange for synthesized Neon code — the Neon
+ * analog of hvx/sexpr.h, written for the persistent synthesis cache
+ * (synth/persist.h): a selected NInstr DAG round-trips through text
+ * so a warm cache can replay it in a later process.
+ */
+#ifndef RAKE_NEON_SEXPR_H
+#define RAKE_NEON_SEXPR_H
+
+#include <string>
+
+#include "neon/instr.h"
+
+namespace rake::neon {
+
+/** Render an instruction DAG as one s-expression. */
+std::string to_sexpr(const NInstrPtr &n);
+
+/** Parse an instruction back; throws UserError on malformed input. */
+NInstrPtr parse_instr(const std::string &text);
+
+} // namespace rake::neon
+
+#endif // RAKE_NEON_SEXPR_H

@@ -165,6 +165,11 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
         synth::synthesis_cache().stats();
     result.cache_hits = cache_after.hits - cache_before.hits;
     result.cache_misses = cache_after.misses - cache_before.misses;
+    result.disk_hits = cache_after.disk_hits - cache_before.disk_hits;
+    result.disk_writes =
+        cache_after.disk_writes - cache_before.disk_writes;
+    result.disk_invalid =
+        cache_after.disk_invalid - cache_before.disk_invalid;
 
     result.speedup = result.rake_cycles > 0
                          ? static_cast<double>(result.baseline_cycles) /

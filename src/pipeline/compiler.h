@@ -92,6 +92,13 @@ struct BenchmarkResult {
     int64_t cache_hits = 0;
     int64_t cache_misses = 0;
 
+    // Persistent (on-disk) tier deltas; all zero unless
+    // CompileOptions::rake.cache_dir points at a cache directory, and
+    // reported/serialized only when nonzero.
+    int64_t disk_hits = 0;
+    int64_t disk_writes = 0;
+    int64_t disk_invalid = 0;
+
     // Equivalence-checking fast-path effectiveness (see DESIGN.md).
     int dedup_skips = 0;
     int ref_cache_hits = 0;

@@ -3,10 +3,12 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <iomanip>
 #include <sstream>
 
 #include "support/error.h"
+#include "support/parse.h"
 
 namespace rake::pipeline {
 
@@ -89,25 +91,27 @@ BenchArgs
 parse_bench_args(int argc, char **argv)
 {
     BenchArgs args;
+    // One checked parser for every integer knob (support/parse.h):
+    // "--jobs abc", "--iters 1e9" or an overflowing --timeout-ms is a
+    // hard UserError, never atoi's silent 0.
+    auto int_knob = [&](const char *text, const std::string &flag,
+                        int64_t min, int64_t max) {
+        return static_cast<int>(
+            parse_int_knob(text, flag.c_str(), min, max));
+    };
+    constexpr int64_t kIntMax = std::numeric_limits<int>::max();
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--jobs" || a == "-j") {
             RAKE_USER_CHECK(i + 1 < argc, a << " needs a value");
-            args.jobs = std::atoi(argv[++i]);
-            RAKE_USER_CHECK(args.jobs > 0,
-                            "bad job count: " << argv[i]);
+            args.jobs = int_knob(argv[++i], a, 1, 1 << 16);
         } else if (a.rfind("--jobs=", 0) == 0) {
-            args.jobs = std::atoi(a.c_str() + 7);
-            RAKE_USER_CHECK(args.jobs > 0, "bad job count: " << a);
+            args.jobs = int_knob(a.c_str() + 7, "--jobs", 1, 1 << 16);
         } else if (a == "--iters") {
             RAKE_USER_CHECK(i + 1 < argc, a << " needs a value");
-            args.iters = std::atoi(argv[++i]);
-            RAKE_USER_CHECK(args.iters > 0,
-                            "bad iteration count: " << argv[i]);
+            args.iters = int_knob(argv[++i], a, 1, kIntMax);
         } else if (a.rfind("--iters=", 0) == 0) {
-            args.iters = std::atoi(a.c_str() + 8);
-            RAKE_USER_CHECK(args.iters > 0,
-                            "bad iteration count: " << a);
+            args.iters = int_knob(a.c_str() + 8, "--iters", 1, kIntMax);
         } else if (a == "--json") {
             RAKE_USER_CHECK(i + 1 < argc, a << " needs a path");
             args.json = argv[++i];
@@ -121,21 +125,23 @@ parse_bench_args(int argc, char **argv)
             args.target = a.substr(9);
         } else if (a == "--timeout-ms") {
             RAKE_USER_CHECK(i + 1 < argc, a << " needs a value");
-            args.timeout_ms = std::atoi(argv[++i]);
-            RAKE_USER_CHECK(args.timeout_ms > 0,
-                            "bad timeout: " << argv[i]);
+            args.timeout_ms = int_knob(argv[++i], a, 1, kIntMax);
         } else if (a.rfind("--timeout-ms=", 0) == 0) {
-            args.timeout_ms = std::atoi(a.c_str() + 13);
-            RAKE_USER_CHECK(args.timeout_ms > 0, "bad timeout: " << a);
+            args.timeout_ms =
+                int_knob(a.c_str() + 13, "--timeout-ms", 1, kIntMax);
         } else if (a == "--run-timeout-ms") {
             RAKE_USER_CHECK(i + 1 < argc, a << " needs a value");
-            args.run_timeout_ms = std::atoi(argv[++i]);
-            RAKE_USER_CHECK(args.run_timeout_ms > 0,
-                            "bad timeout: " << argv[i]);
+            args.run_timeout_ms = int_knob(argv[++i], a, 1, kIntMax);
         } else if (a.rfind("--run-timeout-ms=", 0) == 0) {
-            args.run_timeout_ms = std::atoi(a.c_str() + 17);
-            RAKE_USER_CHECK(args.run_timeout_ms > 0,
-                            "bad timeout: " << a);
+            args.run_timeout_ms =
+                int_knob(a.c_str() + 17, "--run-timeout-ms", 1, kIntMax);
+        } else if (a == "--cache-dir") {
+            RAKE_USER_CHECK(i + 1 < argc, a << " needs a path");
+            args.cache_dir = argv[++i];
+        } else if (a.rfind("--cache-dir=", 0) == 0) {
+            args.cache_dir = a.substr(12);
+            RAKE_USER_CHECK(!args.cache_dir.empty(),
+                            a << " needs a path");
         } else if (a == "--profile") {
             args.profile = true;
         } else if (a == "--no-dedup") {

@@ -58,6 +58,11 @@ struct BenchArgs {
     bool greedy = false;   ///< --greedy: Neon greedy-mapper ablation
     int timeout_ms = 0;    ///< --timeout-ms N: per-query budget
     int run_timeout_ms = 0;///< --run-timeout-ms N: whole-run budget
+
+    /** --cache-dir PATH: persistent synthesis-cache directory. The
+     *  drivers pass it through synth::resolve_cache_dir, so an empty
+     *  value defers to RAKE_CACHE_DIR. */
+    std::string cache_dir;
 };
 
 /** Parse driver flags; throws UserError on malformed input. */

@@ -30,9 +30,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
+
+#include "support/parse.h"
 
 namespace rake {
 
@@ -238,6 +241,10 @@ class Deadline
  * positive integer in the named environment variable, then 0 (no
  * deadline). Shared by every CLI that exposes --timeout-ms /
  * RAKE_TIMEOUT_MS and --run-timeout-ms / RAKE_RUN_TIMEOUT_MS.
+ *
+ * A set-but-malformed environment value (garbage, a negative number,
+ * or one that overflows an int) is a hard UserError: a budget the
+ * user asked for must never silently become "no deadline".
  */
 inline int
 resolve_timeout_ms(int requested, const char *env_var)
@@ -245,9 +252,8 @@ resolve_timeout_ms(int requested, const char *env_var)
     if (requested > 0)
         return requested;
     if (const char *env = std::getenv(env_var)) {
-        const int v = std::atoi(env);
-        if (v > 0)
-            return v;
+        return static_cast<int>(parse_int_knob(
+            env, env_var, 0, std::numeric_limits<int>::max()));
     }
     return 0;
 }

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Checked integer parsing for CLI flags and environment knobs.
+ *
+ * Every knob the drivers expose used to go through std::atoi, which
+ * maps "abc" to 0, silently truncates "4abc" to 4, and has undefined
+ * behavior on overflow — so a typo'd `--jobs` or an overflowing
+ * RAKE_TIMEOUT_MS degraded into "no parallelism" / "no deadline"
+ * without a word. parse_int_knob is the one strict replacement:
+ * strtoll, full-consumption check, and an explicit range, failing
+ * with a UserError that names the knob.
+ */
+#ifndef RAKE_SUPPORT_PARSE_H
+#define RAKE_SUPPORT_PARSE_H
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "support/error.h"
+
+namespace rake {
+
+/**
+ * Parse `text` as a decimal integer in [min, max]. `what` names the
+ * knob in the error ("--jobs", "RAKE_TIMEOUT_MS"). Throws UserError
+ * on empty input, trailing garbage, overflow, or a value outside the
+ * range.
+ */
+inline int64_t
+parse_int_knob(const char *text, const char *what, int64_t min,
+               int64_t max)
+{
+    RAKE_USER_CHECK(text != nullptr && *text != '\0',
+                    what << " needs an integer value");
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    RAKE_USER_CHECK(errno != ERANGE,
+                    what << " value out of range: " << text);
+    RAKE_USER_CHECK(end != text && *end == '\0',
+                    what << " expects an integer, got: " << text);
+    RAKE_USER_CHECK(v >= min && v <= max,
+                    what << " must be in [" << min << ", " << max
+                         << "], got: " << text);
+    return static_cast<int64_t>(v);
+}
+
+/** std::string convenience overload. */
+inline int64_t
+parse_int_knob(const std::string &text, const char *what, int64_t min,
+               int64_t max)
+{
+    return parse_int_knob(text.c_str(), what, min, max);
+}
+
+} // namespace rake
+
+#endif // RAKE_SUPPORT_PARSE_H

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "support/deadline.h"
+#include "support/parse.h"
 
 namespace rake {
 
@@ -168,18 +169,18 @@ class ThreadPool
 
 /**
  * Resolve a requested job count: a positive request wins, otherwise
- * the RAKE_JOBS environment variable, otherwise 1 (sequential).
+ * the RAKE_JOBS environment variable, otherwise 1 (sequential). A
+ * set-but-malformed RAKE_JOBS (garbage, zero, negative, overflow) is
+ * a hard UserError rather than silently running sequentially.
  */
 inline int
 resolve_jobs(int requested)
 {
     if (requested > 0)
         return requested;
-    if (const char *env = std::getenv("RAKE_JOBS")) {
-        const int v = std::atoi(env);
-        if (v > 0)
-            return v;
-    }
+    if (const char *env = std::getenv("RAKE_JOBS"))
+        return static_cast<int>(parse_int_knob(env, "RAKE_JOBS", 1,
+                                               1 << 16));
     return 1;
 }
 

@@ -47,6 +47,14 @@ struct CacheStats {
     int64_t hits = 0;    ///< lookups answered from the table
     int64_t misses = 0;  ///< lookups that had to synthesize
     int64_t entries = 0; ///< distinct keys currently stored
+
+    // Second (on-disk) tier, see synth/persist.h. All zero unless a
+    // cache directory is configured, so reports and JSON can emit
+    // them only when nonzero and no-cache output stays bit-identical.
+    int64_t disk_hits = 0;    ///< queries answered from the disk tier
+    int64_t disk_writes = 0;  ///< completed results persisted to disk
+    int64_t disk_invalid = 0; ///< entries rejected (stale version,
+                              ///< truncated/corrupt file): misses
 };
 
 /** Everything beyond the expression that can change a Rake run. */
@@ -127,12 +135,36 @@ template <typename Result> class BasicSynthCache
             }
             // Another thread may still be synthesizing this key;
             // block until it publishes rather than duplicating work —
-            // but no longer than the waiter's own deadline.
-            if (deadline.has_expiry()) {
-                if (!published_.wait_until(lock, deadline.expiry(),
-                                           [&e] { return e->done; }))
-                    throw TimeoutError("waiting on an in-flight "
-                                       "synthesis of the same goal");
+            // but no longer than the waiter's own deadline. A
+            // deadline can be token-only (e.g. ThreadPool::
+            // cancel_pending() firing the run token with no
+            // per-expression expiry), and a condition variable cannot
+            // observe a CancelToken directly, so an active deadline
+            // waits in bounded slices and re-checks both halves
+            // between them instead of blocking forever.
+            if (deadline.active()) {
+                while (!e->done) {
+                    auto slice = std::chrono::steady_clock::now() +
+                                 std::chrono::milliseconds(10);
+                    if (deadline.has_expiry() &&
+                        deadline.expiry() < slice)
+                        slice = deadline.expiry();
+                    published_.wait_until(lock, slice,
+                                          [&e] { return e->done; });
+                    if (e->done)
+                        break;
+                    const bool cancelled =
+                        deadline.token().valid() &&
+                        deadline.token().cancelled();
+                    const bool expired =
+                        deadline.has_expiry() &&
+                        std::chrono::steady_clock::now() >=
+                            deadline.expiry();
+                    if (cancelled || expired)
+                        throw TimeoutError("waiting on an in-flight "
+                                           "synthesis of the same "
+                                           "goal");
+                }
             } else {
                 published_.wait(lock, [&e] { return e->done; });
             }
@@ -194,6 +226,35 @@ template <typename Result> class BasicSynthCache
     {
         std::unique_lock<std::mutex> lock(mutex_);
         return stats_;
+    }
+
+    /**
+     * Disk-tier accounting (synth/persist.h). The persistent store
+     * lives below this table — it has no access to the per-target
+     * counters — so the query layer reports disk outcomes here and
+     * every driver keeps reading one CacheStats per target. Counted
+     * even for uncached (use_cache = false) queries: the counters are
+     * process-wide effectiveness numbers, not table contents.
+     */
+    void
+    note_disk_hit()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ++stats_.disk_hits;
+    }
+
+    void
+    note_disk_write()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ++stats_.disk_writes;
+    }
+
+    void
+    note_disk_invalid()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ++stats_.disk_invalid;
     }
 
     /** Drop every entry and zero the counters (tests, benchmarks). */

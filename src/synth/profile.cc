@@ -35,6 +35,12 @@ add_run(SynthProfile &p, const ResultT &r)
         ++p.cache_hits;
         return;
     }
+    if (r.disk_hit) {
+        // Same story for the on-disk tier: the stats are a previous
+        // process's effort, already counted when it synthesized.
+        ++p.disk_hits;
+        return;
+    }
     accumulate(p.lift_update, r.lift.update);
     accumulate(p.lift_replace, r.lift.replace);
     accumulate(p.lift_extend, r.lift.extend);
@@ -76,6 +82,7 @@ SynthProfile::merge(const SynthProfile &o)
     backtracks += o.backtracks;
     runs += o.runs;
     cache_hits += o.cache_hits;
+    disk_hits += o.disk_hits;
     timeouts += o.timeouts;
     degraded += o.degraded;
 }
@@ -128,8 +135,13 @@ SynthProfile::to_string() const
            << "%\n";
     };
 
+    // The disk clause appears only when the tier answered something,
+    // so runs without --cache-dir render bit-identically.
     os << "synthesis profile (" << runs << " runs, " << cache_hits
-       << " from cache)\n";
+       << " from cache";
+    if (disk_hits > 0)
+        os << ", " << disk_hits << " from disk";
+    os << ")\n";
     os << "  " << std::left << std::setw(14) << "stage" << std::right
        << std::setw(8) << "queries" << std::setw(8) << "accept"
        << std::setw(8) << "ce" << std::setw(8) << "dedup"

@@ -33,6 +33,7 @@ struct SynthProfile {
 
     int runs = 0;       ///< syntheses folded into this profile
     int cache_hits = 0; ///< runs answered by the cross-expression cache
+    int disk_hits = 0;  ///< runs answered by the persistent on-disk tier
     int timeouts = 0;   ///< runs aborted by the wall-clock deadline
     int degraded = 0;   ///< runs that fell back to the greedy selector
 

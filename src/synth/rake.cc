@@ -4,6 +4,7 @@
 #include "hir/simplify.h"
 #include "support/error.h"
 #include "synth/cache.h"
+#include "synth/persist.h"
 
 namespace rake::synth {
 
@@ -149,12 +150,35 @@ select_instructions(const hir::ExprPtr &expr, const RakeOptions &raw_opts)
     // Normalize the input the way Halide's lowering would have.
     hir::ExprPtr normalized = hir::simplify(expr);
 
+    // Both tiers key on the normalized expression plus the options
+    // fingerprint. The disk tier is consulted even with use_cache =
+    // false (the knob opts out of in-process *sharing*, not of a
+    // warm directory the user pointed us at).
+    SynthCache &cache = synthesis_cache();
+    PersistentStore *disk = persistent_store(opts.cache_dir);
+    const uint64_t fp = options_fingerprint(opts);
+
     if (!opts.use_cache) {
+        if (disk) {
+            auto loaded = disk->load(normalized, fp);
+            if (loaded.invalid)
+                cache.note_disk_invalid();
+            if (loaded.hit) {
+                cache.note_disk_hit();
+                if (loaded.result)
+                    loaded.result->disk_hit = true;
+                return std::move(loaded.result);
+            }
+        }
+        std::optional<RakeResult> result;
         try {
-            return synthesize(expr, normalized, opts);
+            result = synthesize(expr, normalized, opts);
         } catch (const TimeoutError &) {
             return degrade_to_baseline(expr, opts);
         }
+        if (disk && disk->store(normalized, fp, result))
+            cache.note_disk_write();
+        return result;
     }
 
     // The cache keys on the *normalized* expression: syntactically
@@ -162,8 +186,6 @@ select_instructions(const hir::ExprPtr &expr, const RakeOptions &raw_opts)
     // The deadline is deliberately not part of the fingerprint — it
     // can only abort a run, never change a completed run's answer, so
     // completed results are valid under any budget.
-    SynthCache &cache = synthesis_cache();
-    const uint64_t fp = options_fingerprint(opts);
     bool owner = false;
     SynthCache::EntryPtr entry;
     try {
@@ -178,6 +200,22 @@ select_instructions(const hir::ExprPtr &expr, const RakeOptions &raw_opts)
         if (cached)
             cached->cache_hit = true;
         return cached;
+    }
+
+    // The owner probes the disk tier before paying for CEGIS; a hit
+    // is published to the in-memory tier so the rest of the process
+    // shares it without touching the filesystem again.
+    if (disk) {
+        auto loaded = disk->load(normalized, fp);
+        if (loaded.invalid)
+            cache.note_disk_invalid();
+        if (loaded.hit) {
+            cache.note_disk_hit();
+            cache.publish(entry, loaded.result);
+            if (loaded.result)
+                loaded.result->disk_hit = true;
+            return std::move(loaded.result);
+        }
     }
 
     // This thread owns the in-flight entry: synthesize and publish,
@@ -197,6 +235,11 @@ select_instructions(const hir::ExprPtr &expr, const RakeOptions &raw_opts)
         throw;
     }
     cache.publish(entry, result);
+    // Only completed outcomes reach this line (timeouts retract and
+    // return above), so the store's own persistable() gate — no
+    // degraded results, no timeouts — is belt and braces here.
+    if (disk && disk->store(normalized, fp, result))
+        cache.note_disk_write();
     return result;
 }
 
@@ -209,18 +252,39 @@ select_instructions_for(const hir::ExprPtr &expr, backend::TargetISA &isa,
 
     hir::ExprPtr normalized = hir::simplify(expr);
 
+    // The disk tier keys on the backend *name* directly (persist.cc
+    // hashes it with a process-stable FNV), so it takes the plain
+    // options fingerprint, not the std::hash-mixed in-memory one.
+    const std::string backend = isa.name();
+    BackendSynthCache &cache = backend_synthesis_cache(backend);
+    PersistentStore *disk = persistent_store(opts.cache_dir);
+    const uint64_t disk_fp = options_fingerprint(opts);
+
     if (!opts.use_cache) {
+        if (disk) {
+            auto loaded = disk->load_backend(normalized, disk_fp, isa);
+            if (loaded.invalid)
+                cache.note_disk_invalid();
+            if (loaded.hit) {
+                cache.note_disk_hit();
+                if (loaded.result)
+                    loaded.result->disk_hit = true;
+                return std::move(loaded.result);
+            }
+        }
+        std::optional<BackendRakeResult> result;
         try {
-            return synthesize_for(normalized, isa, opts);
+            result = synthesize_for(normalized, isa, opts);
         } catch (const TimeoutError &) {
             return degrade_to_greedy(expr, isa);
         }
+        if (disk && disk->store_backend(normalized, disk_fp, isa, result))
+            cache.note_disk_write();
+        return result;
     }
 
     // One table per backend name; the backend name is also folded
     // into the fingerprint so a rename never aliases stale entries.
-    const std::string backend = isa.name();
-    BackendSynthCache &cache = backend_synthesis_cache(backend);
     const uint64_t fp = detail::cache_mix(
         options_fingerprint(opts), std::hash<std::string>()(backend));
     bool owner = false;
@@ -237,6 +301,19 @@ select_instructions_for(const hir::ExprPtr &expr, backend::TargetISA &isa,
         return cached;
     }
 
+    if (disk) {
+        auto loaded = disk->load_backend(normalized, disk_fp, isa);
+        if (loaded.invalid)
+            cache.note_disk_invalid();
+        if (loaded.hit) {
+            cache.note_disk_hit();
+            cache.publish(entry, loaded.result);
+            if (loaded.result)
+                loaded.result->disk_hit = true;
+            return std::move(loaded.result);
+        }
+    }
+
     std::optional<BackendRakeResult> result;
     try {
         result = synthesize_for(normalized, isa, opts);
@@ -248,6 +325,8 @@ select_instructions_for(const hir::ExprPtr &expr, backend::TargetISA &isa,
         throw;
     }
     cache.publish(entry, result);
+    if (disk && disk->store_backend(normalized, disk_fp, isa, result))
+        cache.note_disk_write();
     return result;
 }
 

@@ -55,6 +55,17 @@ struct RakeOptions {
      * budgets.
      */
     Deadline deadline;
+
+    /**
+     * Directory of the persistent (on-disk) cache tier; "" disables
+     * it (see synth/persist.h). Consulted on an in-memory miss before
+     * CEGIS runs, written after each completed synthesis. Like the
+     * deadline, excluded from the cache fingerprint: where a result
+     * is stored never changes what the result is. CLIs resolve this
+     * knob with resolve_cache_dir() (--cache-dir, then
+     * RAKE_CACHE_DIR).
+     */
+    std::string cache_dir;
 };
 
 /** Everything a Rake run produces. */
@@ -72,6 +83,13 @@ struct RakeResult {
      * stay bit-identical whether or not a run was cached.
      */
     bool cache_hit = false;
+
+    /**
+     * True when this result was answered from the persistent on-disk
+     * tier (a prior process's completed synthesis). `lifted` is null
+     * on disk hits — the UIR intermediate is not persisted.
+     */
+    bool disk_hit = false;
 
     SynthStatus status = SynthStatus::Ok;
 
@@ -109,6 +127,9 @@ struct BackendRakeResult {
 
     /** See RakeResult::cache_hit. */
     bool cache_hit = false;
+
+    /** See RakeResult::disk_hit. */
+    bool disk_hit = false;
 
     /** See RakeResult::status / RakeResult::degraded. */
     SynthStatus status = SynthStatus::Ok;

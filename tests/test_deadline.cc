@@ -9,8 +9,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <map>
+#include <thread>
 
 #include "hir/builder.h"
 #include "hir/interp.h"
@@ -135,11 +138,65 @@ TEST(Deadline, ResolveTimeoutPrecedence)
     setenv(var, "40", 1);
     EXPECT_EQ(resolve_timeout_ms(0, var), 40);
     EXPECT_EQ(resolve_timeout_ms(25, var), 25);
+    // A malformed or negative env value used to atoi to "no deadline";
+    // it is a hard error now (support/parse.h), because silently
+    // dropping the user's budget is the worst possible reading.
     setenv(var, "-3", 1);
-    EXPECT_EQ(resolve_timeout_ms(0, var), 0);
+    EXPECT_THROW(resolve_timeout_ms(0, var), UserError);
     setenv(var, "garbage", 1);
+    EXPECT_THROW(resolve_timeout_ms(0, var), UserError);
+    setenv(var, "2147483648", 1); // INT_MAX + 1
+    EXPECT_THROW(resolve_timeout_ms(0, var), UserError);
+    // An explicit request never consults the env.
+    EXPECT_EQ(resolve_timeout_ms(25, var), 25);
+    // "0" is a valid way of spelling "no deadline".
+    setenv(var, "0", 1);
     EXPECT_EQ(resolve_timeout_ms(0, var), 0);
     unsetenv(var);
+}
+
+/**
+ * Regression: a cache waiter whose deadline carries only a
+ * CancelToken (no wall-clock expiry — exactly what
+ * ThreadPool::cancel_pending() produces) used to block forever,
+ * because the wait path only honored has_expiry(). Cancellation must
+ * wake it with a TimeoutError.
+ */
+TEST(Deadline, TokenOnlyDeadlineUnblocksCacheWaiter)
+{
+    auto &cache = synth::synthesis_cache();
+    cache.clear();
+    const ExprPtr expr = average_expr().ptr();
+
+    // Become the owner of the in-flight entry and never publish, so
+    // a second acquire on the same key must wait.
+    bool owner = false;
+    auto entry = cache.acquire(expr, 1, &owner, Deadline());
+    ASSERT_TRUE(owner);
+
+    const CancelToken token = CancelToken::root();
+    const Deadline token_only = Deadline().with_token(token);
+    ASSERT_TRUE(token_only.active());
+    ASSERT_FALSE(token_only.has_expiry());
+
+    std::atomic<bool> threw{false};
+    std::thread waiter([&] {
+        bool waiter_owner = false;
+        try {
+            cache.acquire(expr, 1, &waiter_owner, token_only);
+        } catch (const TimeoutError &) {
+            threw.store(true);
+        }
+    });
+    // Let the waiter block, then cancel: it must wake promptly.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    token.cancel();
+    waiter.join();
+    EXPECT_TRUE(threw.load());
+
+    // Unwind the in-flight entry so later tests see a clean cache.
+    cache.retract(entry);
+    cache.clear();
 }
 
 TEST(Degradation, ExpiredBudgetShipsRunnableBaselineProgram)

@@ -15,7 +15,9 @@
 #include <thread>
 #include <vector>
 
+#include "support/error.h"
 #include "support/flat_map.h"
+#include "support/parse.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
 
@@ -182,9 +184,37 @@ TEST(ResolveJobs, ExplicitRequestWinsOverEnv)
     setenv("RAKE_JOBS", "5", 1);
     EXPECT_EQ(resolve_jobs(0), 5);
     EXPECT_EQ(resolve_jobs(2), 2);
+    // Malformed env values used to atoi to "no parallelism"; they are
+    // a hard error now (support/parse.h).
     setenv("RAKE_JOBS", "garbage", 1);
-    EXPECT_EQ(resolve_jobs(0), 1);
+    EXPECT_THROW(resolve_jobs(0), UserError);
+    setenv("RAKE_JOBS", "4abc", 1);
+    EXPECT_THROW(resolve_jobs(0), UserError);
+    setenv("RAKE_JOBS", "0", 1);
+    EXPECT_THROW(resolve_jobs(0), UserError);
+    setenv("RAKE_JOBS", "99999999999999999999", 1);
+    EXPECT_THROW(resolve_jobs(0), UserError);
+    // An explicit request never consults the env, so it still wins.
+    EXPECT_EQ(resolve_jobs(2), 2);
     unsetenv("RAKE_JOBS");
+}
+
+TEST(ParseIntKnob, StrictParsingContract)
+{
+    EXPECT_EQ(parse_int_knob("42", "--knob", 0, 100), 42);
+    EXPECT_EQ(parse_int_knob("-7", "--knob", -10, 10), -7);
+    EXPECT_EQ(parse_int_knob(std::string("5"), "--knob", 0, 10), 5);
+    EXPECT_THROW(parse_int_knob("", "--knob", 0, 10), UserError);
+    EXPECT_THROW(parse_int_knob(nullptr, "--knob", 0, 10), UserError);
+    EXPECT_THROW(parse_int_knob("abc", "--knob", 0, 10), UserError);
+    EXPECT_THROW(parse_int_knob("4abc", "--knob", 0, 10), UserError);
+    EXPECT_THROW(parse_int_knob("4.5", "--knob", 0, 10), UserError);
+    EXPECT_THROW(parse_int_knob("11", "--knob", 0, 10), UserError);
+    EXPECT_THROW(parse_int_knob("-1", "--knob", 0, 10), UserError);
+    // Overflow past long long is ERANGE, not a silent clamp.
+    EXPECT_THROW(parse_int_knob("99999999999999999999", "--knob",
+                                INT64_MIN, INT64_MAX),
+                 UserError);
 }
 
 TEST(FlatMap, InsertLookupAndSortedIteration)

@@ -3,6 +3,7 @@
  * Focused synthesis repros, runnable against either backend:
  *
  *   debug_unit [--target hvx|neon] [--greedy] [--timeout-ms N]
+ *              [--cache-dir PATH]
  *
  * Probes the shapes that historically regressed — the conv3x3a32
  * inner sum, scalar-weight chains of increasing length, and the
@@ -18,6 +19,7 @@
 #include "neon/select.h"
 #include "pipeline/report.h"
 #include "support/deadline.h"
+#include "synth/persist.h"
 #include "synth/rake.h"
 
 using namespace rake;
@@ -89,6 +91,8 @@ main(int argc, char **argv)
         pipeline::parse_bench_args(argc, argv);
     const int timeout_ms =
         resolve_timeout_ms(args.timeout_ms, "RAKE_TIMEOUT_MS");
+    const std::string cache_dir =
+        synth::resolve_cache_dir(args.cache_dir);
 
     int failures = 0;
     for (const Probe &p : probes()) {
@@ -96,6 +100,7 @@ main(int argc, char **argv)
                   << (args.greedy ? ", greedy" : "") << ")\n";
         if (args.target == "hvx") {
             synth::RakeOptions opts;
+            opts.cache_dir = cache_dir;
             if (timeout_ms > 0)
                 opts.deadline = Deadline::after_ms(timeout_ms);
             auto r = synth::select_instructions(p.expr, opts);
@@ -112,6 +117,7 @@ main(int argc, char **argv)
         } else {
             neon::SelectOptions opts;
             opts.greedy = args.greedy;
+            opts.cache_dir = cache_dir;
             if (timeout_ms > 0)
                 opts.deadline = Deadline::after_ms(timeout_ms);
             synth::SynthStatus status = synth::SynthStatus::Ok;
