@@ -14,6 +14,7 @@
 #include "pipeline/report.h"
 #include "support/deadline.h"
 #include "synth/persist.h"
+#include "synth/rules.h"
 
 int
 main(int argc, char **argv)
@@ -29,6 +30,8 @@ main(int argc, char **argv)
     opts.run_timeout_ms =
         resolve_timeout_ms(args.run_timeout_ms, "RAKE_RUN_TIMEOUT_MS");
     opts.rake.cache_dir = synth::resolve_cache_dir(args.cache_dir);
+    opts.rake.rules_file =
+        synth::resolve_rules_file(args.rules, args.no_rules);
     std::vector<BenchmarkResult> results;
     std::vector<double> speedups;
 

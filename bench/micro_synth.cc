@@ -30,10 +30,18 @@
  * sharing tier — a warm directory is still honored, which is exactly
  * what the CI warm-cache smoke exercises.
  *
+ * `--rules PATH` (or RAKE_RULES; `--no-rules` forces the stage off)
+ * loads a mined rewrite-rule table (tools/rake_mine_rules): on a disk
+ * miss the rule-first stage answers matching queries without any
+ * CEGIS work. The JSON gains `rule_hits` / `rule_instance_rejects` /
+ * `rule_table_size` counts and the per-case `selection`, emitted only
+ * in rules runs so plain output stays bit-identical.
+ *
  *   micro_synth [--target hvx|neon] [--iters K] [--jobs N]
  *               [--json PATH] [--profile] [--no-dedup] [--greedy]
  *               [--timeout-ms N] [--run-timeout-ms N]
- *               [--cache-dir PATH] [case-name]
+ *               [--cache-dir PATH] [--rules PATH] [--no-rules]
+ *               [case-name]
  */
 #include <chrono>
 #include <iostream>
@@ -48,6 +56,7 @@
 #include "synth/persist.h"
 #include "synth/profile.h"
 #include "synth/rake.h"
+#include "synth/rules.h"
 
 namespace {
 
@@ -95,6 +104,7 @@ main(int argc, char **argv)
     synth::RakeOptions opts;
     opts.use_cache = false; // measure the engine, not the cache
     opts.cache_dir = synth::resolve_cache_dir(args.cache_dir);
+    opts.rules_file = synth::resolve_rules_file(args.rules, args.no_rules);
     opts.verifier.dedup = !args.no_dedup;
     if (args.target == "neon")
         opts.lower.layouts = false; // Neon is linear-only
@@ -140,8 +150,10 @@ main(int argc, char **argv)
         const ExprPtr e = conv_expr(c.taps, 128);
         synth::SynthProfile profile;
         // The selected code, as a canonical s-expression. Captured
-        // only in --cache-dir runs, where the CI warm-cache smoke
-        // diffs it between a cold and a warm run.
+        // only in --cache-dir / --rules runs, where the CI smokes
+        // diff it between a cold run and a warm (cache or rule) one.
+        const bool capture_selection =
+            !opts.cache_dir.empty() || !opts.rules_file.empty();
         std::string selection;
         double sum = 0.0, best = 0.0;
         for (int k = 0; k < iters; ++k) {
@@ -158,7 +170,7 @@ main(int argc, char **argv)
                 ok = rk.has_value();
                 if (rk) {
                     profile.add(*rk);
-                    if (!opts.cache_dir.empty() && rk->instr)
+                    if (capture_selection && rk->instr)
                         selection = hvx::to_sexpr(rk->instr);
                 }
             } else if (args.greedy) {
@@ -176,7 +188,7 @@ main(int argc, char **argv)
                 ok = rk.has_value();
                 if (rk) {
                     profile.add(*rk);
-                    if (!opts.cache_dir.empty() && rk->instr)
+                    if (capture_selection && rk->instr)
                         selection = isa->instr_to_sexpr(rk->instr);
                 }
             }
@@ -221,6 +233,10 @@ main(int argc, char **argv)
             cj.put("degraded", profile.degraded);
         if (profile.disk_hits > 0)
             cj.put("disk_hits", profile.disk_hits);
+        if (profile.rule_hits > 0)
+            cj.put("rule_hits", profile.rule_hits);
+        if (profile.rule_instance_rejects > 0)
+            cj.put("rule_instance_rejects", profile.rule_instance_rejects);
         if (!selection.empty())
             cj.put("selection", selection);
         if (!cases_json.empty())
@@ -240,6 +256,27 @@ main(int argc, char **argv)
     std::cout << table.to_string();
     if (args.profile)
         std::cout << "\n--- all cases\n" << total_profile.to_string();
+
+    // Table size for the active configuration (0 without --rules, so
+    // the counter obeys the emit-only-when-nonzero convention).
+    if (!opts.rules_file.empty()) {
+        if (args.target == "hvx") {
+            total_profile.rule_table_size = synth::rule_table_size(
+                opts.rules_file, "hvx", synth::kHvxGrammarVersion,
+                synth::kHvxCostModelVersion);
+        } else {
+            neon::Target machine;
+            auto isa = backend::make_neon_backend(machine);
+            total_profile.rule_table_size = synth::rule_table_size(
+                opts.rules_file, isa->name(), isa->grammar_version(),
+                isa->cost_model_version());
+        }
+        std::cout << "\nrule table (" << opts.rules_file << "): "
+                  << total_profile.rule_table_size << " rules, "
+                  << total_profile.rule_hits << " hits, "
+                  << total_profile.rule_instance_rejects
+                  << " instance rejects\n";
+    }
 
     const synth::CacheStats disk_after = disk_stats();
     const int64_t disk_hits = disk_after.disk_hits - disk_before.disk_hits;
@@ -279,6 +316,14 @@ main(int argc, char **argv)
             j.put("disk_writes", disk_writes);
         if (disk_invalid > 0)
             j.put("disk_invalid", disk_invalid);
+        // Same convention for the rule-first stage.
+        if (total_profile.rule_hits > 0)
+            j.put("rule_hits", total_profile.rule_hits);
+        if (total_profile.rule_instance_rejects > 0)
+            j.put("rule_instance_rejects",
+                  total_profile.rule_instance_rejects);
+        if (total_profile.rule_table_size > 0)
+            j.put("rule_table_size", total_profile.rule_table_size);
         j.put_raw("cases", "[" + cases_json + "]");
         write_text_file(args.json, j.to_string() + "\n");
         std::cout << "\nwrote " << args.json << "\n";

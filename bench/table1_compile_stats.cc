@@ -23,17 +23,27 @@
  * synthesis cache: a warm directory answers repeated suites from
  * disk, and the report/JSON gain disk_hits / disk_writes /
  * disk_invalid counters (only when nonzero).
+ *
+ * `--rules PATH` (or RAKE_RULES; `--no-rules` forces the stage off)
+ * loads a mined rewrite-rule table: matching queries skip CEGIS
+ * entirely, and the report/JSON gain rule_hits /
+ * rule_instance_rejects / rule_table_size counters (only when
+ * nonzero). `--selections PATH` dumps every selected instruction DAG,
+ * one canonical s-expression per line, so CI can diff a warm-rule run
+ * against a rule-free one for bit-identity.
  */
 #include <chrono>
 #include <iostream>
 
 #include "backend/neon_backend.h"
+#include "hvx/sexpr.h"
 #include "pipeline/benchmarks.h"
 #include "pipeline/report.h"
 #include "support/deadline.h"
 #include "support/thread_pool.h"
 #include "synth/cache.h"
 #include "synth/persist.h"
+#include "synth/rules.h"
 
 namespace {
 
@@ -80,6 +90,8 @@ compile_neon_benchmark(const rake::pipeline::Benchmark &bench,
         result.total_seconds += dt;
         if (!rk)
             continue;
+        if (rk->instr)
+            result.selections.push_back(isa->instr_to_sexpr(rk->instr));
         ++result.optimized_exprs;
         if (rk->status == synth::SynthStatus::TimedOut)
             ++result.timeouts;
@@ -127,6 +139,8 @@ main(int argc, char **argv)
     opts.run_timeout_ms =
         resolve_timeout_ms(args.run_timeout_ms, "RAKE_RUN_TIMEOUT_MS");
     opts.rake.cache_dir = synth::resolve_cache_dir(args.cache_dir);
+    opts.rake.rules_file =
+        synth::resolve_rules_file(args.rules, args.no_rules);
     const bool neon_target = args.target == "neon";
     if (neon_target)
         opts.rake.lower.layouts = false; // Neon is linear-only
@@ -144,6 +158,7 @@ main(int argc, char **argv)
     int exprs = 0;
     synth::SynthProfile profile;
     std::string bench_json;
+    std::string selections_dump;
     for (const Benchmark &b : benchmark_suite()) {
         if (!args.only.empty() && b.name != args.only)
             continue;
@@ -170,6 +185,19 @@ main(int argc, char **argv)
         wall_s += r.wall_seconds;
         exprs += r.optimized_exprs;
         profile.merge(r.profile);
+        if (!args.selections.empty()) {
+            // HVX results keep their typed DAG in r.exprs; backend
+            // runs filled r.selections directly.
+            if (neon_target) {
+                for (const std::string &s : r.selections)
+                    selections_dump += s + "\n";
+            } else {
+                for (const ExprCompilation &ec : r.exprs) {
+                    if (ec.rake)
+                        selections_dump += hvx::to_sexpr(ec.rake) + "\n";
+                }
+            }
+        }
         Json bj;
         bj.put("name", r.name)
             .put("exprs", r.optimized_exprs)
@@ -198,6 +226,12 @@ main(int argc, char **argv)
             bj.put("disk_writes", r.disk_writes);
         if (r.disk_invalid > 0)
             bj.put("disk_invalid", r.disk_invalid);
+        // And the rule-first stage: silent without --rules.
+        if (r.profile.rule_hits > 0)
+            bj.put("rule_hits", r.profile.rule_hits);
+        if (r.profile.rule_instance_rejects > 0)
+            bj.put("rule_instance_rejects",
+                   r.profile.rule_instance_rejects);
         if (!bench_json.empty())
             bench_json += ",";
         bench_json += bj.to_string();
@@ -221,6 +255,29 @@ main(int argc, char **argv)
         std::cout << "persistent cache: " << cache.disk_hits
                   << " hits, " << cache.disk_writes << " writes, "
                   << cache.disk_invalid << " invalidated\n";
+    }
+    if (!opts.rake.rules_file.empty()) {
+        if (neon_target) {
+            neon::Target machine;
+            auto isa = backend::make_neon_backend(machine);
+            profile.rule_table_size = synth::rule_table_size(
+                opts.rake.rules_file, isa->name(),
+                isa->grammar_version(), isa->cost_model_version());
+        } else {
+            profile.rule_table_size = synth::rule_table_size(
+                opts.rake.rules_file, "hvx", synth::kHvxGrammarVersion,
+                synth::kHvxCostModelVersion);
+        }
+        std::cout << "rule table (" << opts.rake.rules_file << "): "
+                  << profile.rule_table_size << " rules, "
+                  << profile.rule_hits << " hits, "
+                  << profile.rule_instance_rejects
+                  << " instance rejects\n";
+    }
+
+    if (!args.selections.empty()) {
+        write_text_file(args.selections, selections_dump);
+        std::cout << "wrote " << args.selections << "\n";
     }
 
     if (args.profile)
@@ -252,6 +309,12 @@ main(int argc, char **argv)
             j.put("disk_writes", cache.disk_writes);
         if (cache.disk_invalid > 0)
             j.put("disk_invalid", cache.disk_invalid);
+        if (profile.rule_hits > 0)
+            j.put("rule_hits", profile.rule_hits);
+        if (profile.rule_instance_rejects > 0)
+            j.put("rule_instance_rejects", profile.rule_instance_rejects);
+        if (profile.rule_table_size > 0)
+            j.put("rule_table_size", profile.rule_table_size);
         j.put_raw("benchmarks", "[" + bench_json + "]");
         write_text_file(args.json, j.to_string() + "\n");
         std::cout << "wrote " << args.json << "\n";

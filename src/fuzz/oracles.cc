@@ -174,6 +174,35 @@ check_expr(const hir::ExprPtr &e, const OracleOptions &opts)
             }
         }
 
+        // Oracle 2b (rules-vs-CEGIS): re-select with the rule-first
+        // stage enabled; the output must agree with the reference,
+        // i.e. with the rule-free selection above. The in-memory
+        // cache is off so oracle 2's result cannot answer for this
+        // run — the rule path must be exercised for real.
+        stage = "rules";
+        if (opts.hvx && !opts.rules_file.empty()) {
+            synth::RakeOptions ropts;
+            ropts.deadline = guard;
+            ropts.use_cache = false;
+            ropts.rules_file = opts.rules_file;
+            if (auto r = synth::select_instructions(e, ropts)) {
+                if (r->status == synth::SynthStatus::TimedOut)
+                    return fail("rules",
+                                "synthesis deadline expired (greedy "
+                                "degradation shipped)",
+                                /*crash=*/false, /*hang=*/true);
+                for (size_t i = 0; i < envs.size(); ++i) {
+                    const Value got = hvx::evaluate(r->instr, envs[i]);
+                    if (got != ref[i])
+                        return fail("rules",
+                                    mismatch_detail(
+                                        "rules(e) vs CEGIS",
+                                        static_cast<int>(i), got,
+                                        ref[i]));
+                }
+            }
+        }
+
         // Oracle 3: NEON selection through the TargetISA path.
         stage = "neon";
         std::vector<Value> neon_out;

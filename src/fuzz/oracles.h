@@ -39,6 +39,18 @@ struct OracleOptions {
     uint64_t env_seed = 91;
 
     /**
+     * Rule-table path for the rules-vs-CEGIS oracle; "" disables it.
+     * When set, the expression is selected a second time with the
+     * rule-first stage enabled (and the in-memory cache off, so the
+     * first selection cannot answer for it) and the resulting code
+     * must agree with the reference interpreter — i.e. with whatever
+     * the rule-free selection produced. A mined rule that survives
+     * verification yet changes observable behavior is a real
+     * miscompile and surfaces here as a divergence.
+     */
+    std::string rules_file;
+
+    /**
      * Per-program wall-clock budget in milliseconds (0 = none). The
      * whole lattice runs under one deadline; a stage that exhausts it
      * is reported as a `hang` divergence (crash attribution's third
@@ -71,7 +83,8 @@ struct OracleOptions {
 
 /** One observed divergence (or crash) with a replayable description. */
 struct Divergence {
-    std::string oracle; ///< "sexpr", "simplify", "hvx", "neon", "hvx-vs-neon"
+    std::string oracle; ///< "sexpr", "simplify", "hvx", "rules",
+                        ///< "neon", "hvx-vs-neon"
     std::string detail; ///< env index, lane, expected vs actual, ...
     bool crash = false; ///< an exception escaped instead of a mismatch
     bool hang = false;  ///< the per-program deadline fired instead

@@ -342,6 +342,7 @@ select_instructions(const hir::ExprPtr &expr, const SelectOptions &opts,
     ropts.use_cache = opts.use_cache;
     ropts.deadline = opts.deadline;
     ropts.cache_dir = opts.cache_dir;
+    ropts.rules_file = opts.rules_file;
     auto r = synth::select_instructions_for(expr, *isa, ropts);
     if (!r || !r->instr) {
         if (status)

@@ -49,6 +49,10 @@ struct SelectOptions {
      *  "" disables the disk tier. The greedy path never consults it. */
     std::string cache_dir;
 
+    /** Mined rewrite-rule table (see synth::RakeOptions::rules_file);
+     *  "" disables the rule-first stage. Greedy never consults it. */
+    std::string rules_file;
+
     SelectOptions()
     {
         // Neon compute ops never reorder lanes, so the §5.1 layout

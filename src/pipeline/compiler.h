@@ -112,6 +112,14 @@ struct BenchmarkResult {
 
     /** Per-stage/per-rule rollup behind the `--profile` breakdown. */
     synth::SynthProfile profile;
+
+    /**
+     * Canonical s-expressions of Rake's selections, in suite order —
+     * the payload of the drivers' `--selections` bit-identity dumps.
+     * The HVX path extracts them from `exprs`; backend drivers (whose
+     * results are type-erased) fill this directly instead.
+     */
+    std::vector<std::string> selections;
 };
 
 /** Driver configuration. */

@@ -142,6 +142,21 @@ parse_bench_args(int argc, char **argv)
             args.cache_dir = a.substr(12);
             RAKE_USER_CHECK(!args.cache_dir.empty(),
                             a << " needs a path");
+        } else if (a == "--rules") {
+            RAKE_USER_CHECK(i + 1 < argc, a << " needs a path");
+            args.rules = argv[++i];
+        } else if (a.rfind("--rules=", 0) == 0) {
+            args.rules = a.substr(8);
+            RAKE_USER_CHECK(!args.rules.empty(), a << " needs a path");
+        } else if (a == "--no-rules") {
+            args.no_rules = true;
+        } else if (a == "--selections") {
+            RAKE_USER_CHECK(i + 1 < argc, a << " needs a path");
+            args.selections = argv[++i];
+        } else if (a.rfind("--selections=", 0) == 0) {
+            args.selections = a.substr(13);
+            RAKE_USER_CHECK(!args.selections.empty(),
+                            a << " needs a path");
         } else if (a == "--profile") {
             args.profile = true;
         } else if (a == "--no-dedup") {

@@ -63,6 +63,17 @@ struct BenchArgs {
      *  drivers pass it through synth::resolve_cache_dir, so an empty
      *  value defers to RAKE_CACHE_DIR. */
     std::string cache_dir;
+
+    /** --rules PATH / --no-rules: mined rewrite-rule table for the
+     *  rule-first selection stage. The drivers pass both through
+     *  synth::resolve_rules_file, so an empty value defers to
+     *  RAKE_RULES and --no-rules forces the stage off. */
+    std::string rules;
+    bool no_rules = false;
+
+    /** --selections PATH: dump every selected instruction DAG (one
+     *  canonical sexpr per line) for bit-identity diffs in CI. */
+    std::string selections;
 };
 
 /** Parse driver flags; throws UserError on malformed input. */

@@ -1,5 +1,6 @@
 #include "synth/persist.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
@@ -553,6 +554,55 @@ persistent_store(const std::string &dir)
     if (!slot)
         slot = std::make_unique<PersistentStore>(dir);
     return slot.get();
+}
+
+std::vector<CacheEntryView>
+scan_cache_dir(const std::string &dir)
+{
+    std::vector<CacheEntryView> out;
+    if (dir.empty())
+        return out;
+    std::error_code ec;
+    std::vector<std::string> paths;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        const fs::path &p = it->path();
+        if (p.extension() == kEntrySuffix)
+            paths.push_back(p.string());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const std::string &path : paths) {
+        const auto text = read_file(path);
+        if (!text)
+            continue;
+        // Lenient field walk: the miner only needs the version keys
+        // and the solved pair; stats and proof lines are skipped, and
+        // anything structurally off means the file is not an entry.
+        try {
+            EntryReader r(*text);
+            CacheEntryView view;
+            RAKE_USER_CHECK(parse_i64(r.take(kMagic)) ==
+                                kPersistFormatVersion,
+                            "cache entry format version mismatch");
+            view.backend = r.take("backend");
+            view.grammar = static_cast<int>(parse_i64(r.take("grammar")));
+            view.cost_model =
+                static_cast<int>(parse_i64(r.take("cost-model")));
+            r.take("options");
+            view.expr = r.take("expr");
+            const std::string status = r.take("status");
+            if (status == "ok") {
+                view.instr = r.take("instr");
+            } else {
+                RAKE_USER_CHECK(status == "no_solution",
+                                "bad cache entry status: " << status);
+            }
+            out.push_back(std::move(view));
+        } catch (const UserError &) {
+            continue;
+        }
+    }
+    return out;
 }
 
 std::string

@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "backend/target_isa.h"
 #include "synth/rake.h"
@@ -139,6 +140,30 @@ class PersistentStore
  * the synthesis-cache singletons, they live for the process.
  */
 PersistentStore *persistent_store(const std::string &dir);
+
+/**
+ * One solved entry as seen by the offline rule miner
+ * (tools/rake_mine_rules): the recorded version keys plus the raw
+ * (canonical HIR sexpr, instruction sexpr) pair. `instr` is empty
+ * for persisted no-solution outcomes.
+ */
+struct CacheEntryView {
+    std::string backend;
+    int grammar = 0;
+    int cost_model = 0;
+    std::string expr;
+    std::string instr;
+};
+
+/**
+ * Walk a cache directory and return every parseable entry, sorted by
+ * filename for a deterministic mining order. Unlike load(), this
+ * does not validate against an expected key — the miner wants every
+ * backend's solved pairs and filters on version keys itself. Corrupt
+ * or truncated files are silently skipped (they are a miss for the
+ * cache too); a missing directory yields an empty list.
+ */
+std::vector<CacheEntryView> scan_cache_dir(const std::string &dir);
 
 /**
  * Resolve the cache-directory knob: an explicit path wins, then the

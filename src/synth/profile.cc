@@ -28,6 +28,10 @@ add_run(SynthProfile &p, const ResultT &r)
         ++p.timeouts;
     if (r.degraded)
         ++p.degraded;
+    // Instance rejects are rule-stage work spent on this query even
+    // when the answer then came from elsewhere, so they accumulate
+    // before the per-tier early returns below.
+    p.rule_instance_rejects += r.rule_rejects;
     if (r.cache_hit) {
         // Cached runs carry the original synthesis's statistics for
         // Table 1, but no time was spent re-deriving them; folding
@@ -39,6 +43,12 @@ add_run(SynthProfile &p, const ResultT &r)
         // Same story for the on-disk tier: the stats are a previous
         // process's effort, already counted when it synthesized.
         ++p.disk_hits;
+        return;
+    }
+    if (r.rule_hit) {
+        // A rule hit ran no synthesis stage at all: the rule was
+        // verified once offline, so there is no effort to fold in.
+        ++p.rule_hits;
         return;
     }
     accumulate(p.lift_update, r.lift.update);
@@ -83,6 +93,12 @@ SynthProfile::merge(const SynthProfile &o)
     runs += o.runs;
     cache_hits += o.cache_hits;
     disk_hits += o.disk_hits;
+    rule_hits += o.rule_hits;
+    rule_instance_rejects += o.rule_instance_rejects;
+    // The table size is a property of the loaded configuration, not
+    // per-run effort: merging profiles of the same run keeps it.
+    if (o.rule_table_size > rule_table_size)
+        rule_table_size = o.rule_table_size;
     timeouts += o.timeouts;
     degraded += o.degraded;
 }
@@ -141,6 +157,8 @@ SynthProfile::to_string() const
        << " from cache";
     if (disk_hits > 0)
         os << ", " << disk_hits << " from disk";
+    if (rule_hits > 0)
+        os << ", " << rule_hits << " from rules";
     os << ")\n";
     os << "  " << std::left << std::setw(14) << "stage" << std::right
        << std::setw(8) << "queries" << std::setw(8) << "accept"
@@ -170,6 +188,13 @@ SynthProfile::to_string() const
            << 100.0 * dedup / queries << "% of queries)";
     os << ", " << refhits << " reference-cache hits, "
        << swizzle.memo_hits << " swizzle memo hits\n";
+    // Like the disk clause: the rules line appears only when a rule
+    // table was actually in play, so rule-free runs stay bit-identical.
+    if (rule_hits > 0 || rule_instance_rejects > 0 ||
+        rule_table_size > 0)
+        os << "  rules: " << rule_table_size << " loaded, " << rule_hits
+           << " hits, " << rule_instance_rejects
+           << " instance rejects\n";
     // Emitted only when a deadline actually fired, so --profile output
     // with no (or a generous) --timeout-ms stays bit-identical.
     if (timeouts > 0 || degraded > 0)

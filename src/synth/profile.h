@@ -34,6 +34,11 @@ struct SynthProfile {
     int runs = 0;       ///< syntheses folded into this profile
     int cache_hits = 0; ///< runs answered by the cross-expression cache
     int disk_hits = 0;  ///< runs answered by the persistent on-disk tier
+    int rule_hits = 0;  ///< runs answered by the rule-first stage
+    int rule_instance_rejects = 0; ///< rule instantiations refused by
+                                   ///< the per-instance example re-check
+    int rule_table_size = 0; ///< rules loaded for this configuration
+                             ///< (max across merges, not a sum)
     int timeouts = 0;   ///< runs aborted by the wall-clock deadline
     int degraded = 0;   ///< runs that fell back to the greedy selector
 

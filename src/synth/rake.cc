@@ -1,10 +1,12 @@
 #include "synth/rake.h"
 
+#include "backend/hvx_backend.h"
 #include "baseline/halide_optimizer.h"
 #include "hir/simplify.h"
 #include "support/error.h"
 #include "synth/cache.h"
 #include "synth/persist.h"
+#include "synth/rules.h"
 
 namespace rake::synth {
 
@@ -125,6 +127,67 @@ degrade_to_baseline(const hir::ExprPtr &expr, const RakeOptions &opts)
     return result;
 }
 
+/**
+ * The rule-first stage of the HVX fast path: consulted after both
+ * cache tiers miss, before sketch enumeration + CEGIS. A hit carries
+ * zero stage statistics (no query ran) and, when the final-proof
+ * knob is set, the same z3 check the synthesis path would have run.
+ * Misses (including instantiations the per-instance re-check
+ * rejected, counted into *rejects) fall through to synthesis.
+ */
+std::optional<RakeResult>
+try_rules(const hir::ExprPtr &expr, const hir::ExprPtr &normalized,
+          const RakeOptions &opts, int *rejects)
+{
+    const RuleTable *table = rule_table(opts.rules_file);
+    if (!table)
+        return std::nullopt;
+    const auto *rules = table->rules_for(
+        "hvx", kHvxGrammarVersion, kHvxCostModelVersion);
+    if (!rules)
+        return std::nullopt;
+    auto isa = backend::make_hvx_backend(opts.target);
+    auto instr =
+        apply_rules(*rules, normalized, *isa, opts.seed, rejects);
+    if (!instr)
+        return std::nullopt;
+    RakeResult result;
+    result.instr = std::static_pointer_cast<const hvx::Instr>(*instr);
+    result.rule_hit = true;
+    if (opts.z3_prove) {
+        Spec spec = Spec::from_expr(normalized);
+        ProofOutcome outcome = z3_check(expr, result.instr, spec);
+        result.proof = outcome.result;
+        if (outcome.result == ProofResult::Refuted) {
+            if (rejects)
+                ++*rejects;
+            return std::nullopt;
+        }
+    }
+    return result;
+}
+
+/** The backend-parameterized rule-first stage. */
+std::optional<BackendRakeResult>
+try_rules_for(const hir::ExprPtr &normalized, backend::TargetISA &isa,
+              const RakeOptions &opts, int *rejects)
+{
+    const RuleTable *table = rule_table(opts.rules_file);
+    if (!table)
+        return std::nullopt;
+    const auto *rules = table->rules_for(
+        isa.name(), isa.grammar_version(), isa.cost_model_version());
+    if (!rules)
+        return std::nullopt;
+    auto instr = apply_rules(*rules, normalized, isa, opts.seed, rejects);
+    if (!instr)
+        return std::nullopt;
+    BackendRakeResult result;
+    result.instr = *instr;
+    result.rule_hit = true;
+    return result;
+}
+
 std::optional<BackendRakeResult>
 degrade_to_greedy(const hir::ExprPtr &expr,
                   const backend::TargetISA &isa)
@@ -170,12 +233,21 @@ select_instructions(const hir::ExprPtr &expr, const RakeOptions &raw_opts)
                 return std::move(loaded.result);
             }
         }
+        int rule_rejects = 0;
+        if (auto hit = try_rules(expr, normalized, opts, &rule_rejects)) {
+            hit->rule_rejects = rule_rejects;
+            if (disk && disk->store(normalized, fp, hit))
+                cache.note_disk_write();
+            return hit;
+        }
         std::optional<RakeResult> result;
         try {
             result = synthesize(expr, normalized, opts);
         } catch (const TimeoutError &) {
             return degrade_to_baseline(expr, opts);
         }
+        if (result)
+            result->rule_rejects = rule_rejects;
         if (disk && disk->store(normalized, fp, result))
             cache.note_disk_write();
         return result;
@@ -218,6 +290,18 @@ select_instructions(const hir::ExprPtr &expr, const RakeOptions &raw_opts)
         }
     }
 
+    // Both tiers missed: the rule-first stage answers without paying
+    // for CEGIS when a mined rule matches, and publishes like any
+    // other completed result.
+    int rule_rejects = 0;
+    if (auto hit = try_rules(expr, normalized, opts, &rule_rejects)) {
+        hit->rule_rejects = rule_rejects;
+        cache.publish(entry, hit);
+        if (disk && disk->store(normalized, fp, hit))
+            cache.note_disk_write();
+        return hit;
+    }
+
     // This thread owns the in-flight entry: synthesize and publish,
     // even when synthesis throws (publish a failure so waiters do not
     // block forever; the exception still propagates). A timeout is
@@ -234,6 +318,8 @@ select_instructions(const hir::ExprPtr &expr, const RakeOptions &raw_opts)
         cache.publish(entry, std::nullopt);
         throw;
     }
+    if (result)
+        result->rule_rejects = rule_rejects;
     cache.publish(entry, result);
     // Only completed outcomes reach this line (timeouts retract and
     // return above), so the store's own persistable() gate — no
@@ -272,12 +358,23 @@ select_instructions_for(const hir::ExprPtr &expr, backend::TargetISA &isa,
                 return std::move(loaded.result);
             }
         }
+        int rule_rejects = 0;
+        if (auto hit = try_rules_for(normalized, isa, opts,
+                                     &rule_rejects)) {
+            hit->rule_rejects = rule_rejects;
+            if (disk &&
+                disk->store_backend(normalized, disk_fp, isa, hit))
+                cache.note_disk_write();
+            return hit;
+        }
         std::optional<BackendRakeResult> result;
         try {
             result = synthesize_for(normalized, isa, opts);
         } catch (const TimeoutError &) {
             return degrade_to_greedy(expr, isa);
         }
+        if (result)
+            result->rule_rejects = rule_rejects;
         if (disk && disk->store_backend(normalized, disk_fp, isa, result))
             cache.note_disk_write();
         return result;
@@ -314,6 +411,15 @@ select_instructions_for(const hir::ExprPtr &expr, backend::TargetISA &isa,
         }
     }
 
+    int rule_rejects = 0;
+    if (auto hit = try_rules_for(normalized, isa, opts, &rule_rejects)) {
+        hit->rule_rejects = rule_rejects;
+        cache.publish(entry, hit);
+        if (disk && disk->store_backend(normalized, disk_fp, isa, hit))
+            cache.note_disk_write();
+        return hit;
+    }
+
     std::optional<BackendRakeResult> result;
     try {
         result = synthesize_for(normalized, isa, opts);
@@ -324,6 +430,8 @@ select_instructions_for(const hir::ExprPtr &expr, backend::TargetISA &isa,
         cache.publish(entry, std::nullopt);
         throw;
     }
+    if (result)
+        result->rule_rejects = rule_rejects;
     cache.publish(entry, result);
     if (disk && disk->store_backend(normalized, disk_fp, isa, result))
         cache.note_disk_write();

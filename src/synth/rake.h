@@ -66,6 +66,21 @@ struct RakeOptions {
      * RAKE_CACHE_DIR).
      */
     std::string cache_dir;
+
+    /**
+     * Path of a mined rewrite-rule table (synth/rules.h); "" disables
+     * the rule-first stage. On a memory-tier and disk-tier miss the
+     * table is consulted before sketch enumeration + CEGIS: a
+     * structural match instantiates the rule's holes, re-checks the
+     * instantiation against the reference interpreter on this query's
+     * examples, and publishes into both cache tiers like any other
+     * completed result. Like the deadline and cache_dir, excluded
+     * from the cache fingerprint — every shipped rule is
+     * verifier-proven equivalent, so where an answer comes from does
+     * not change the key. CLIs resolve this knob with
+     * resolve_rules_file() (--rules / --no-rules, then RAKE_RULES).
+     */
+    std::string rules_file;
 };
 
 /** Everything a Rake run produces. */
@@ -90,6 +105,22 @@ struct RakeResult {
      * on disk hits — the UIR intermediate is not persisted.
      */
     bool disk_hit = false;
+
+    /**
+     * True when this result came from the rule-first stage: a mined,
+     * verifier-proven rewrite rule matched the query and its
+     * instantiation passed the per-instance example re-check. The
+     * stage statistics are all zero — no CEGIS query ran. `lifted`
+     * is null, like a disk hit.
+     */
+    bool rule_hit = false;
+
+    /**
+     * Matching rule instantiations rejected by the per-instance
+     * example re-check before this result was produced (whether it
+     * then came from another rule or fell through to synthesis).
+     */
+    int rule_rejects = 0;
 
     SynthStatus status = SynthStatus::Ok;
 
@@ -130,6 +161,10 @@ struct BackendRakeResult {
 
     /** See RakeResult::disk_hit. */
     bool disk_hit = false;
+
+    /** See RakeResult::rule_hit / RakeResult::rule_rejects. */
+    bool rule_hit = false;
+    int rule_rejects = 0;
 
     /** See RakeResult::status / RakeResult::degraded. */
     SynthStatus status = SynthStatus::Ok;

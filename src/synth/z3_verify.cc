@@ -5,7 +5,9 @@
 
 #include <z3++.h>
 
+#include "backend/target_isa.h"
 #include "base/arith.h"
+#include "hvx/sexpr.h"
 #include "support/error.h"
 
 namespace rake::synth {
@@ -710,6 +712,26 @@ z3_check(const hir::ExprPtr &ref, const hir::ExprPtr &impl,
     RAKE_USER_CHECK(ref->type().lanes == impl->type().lanes,
                     "lane count mismatch in z3_check");
     return run_check(ref, impl, spec, opts, ref->type().lanes);
+}
+
+ProofOutcome
+z3_check(const hir::ExprPtr &ref, const backend::TargetISA &isa,
+         const backend::InstrHandle &impl, const Spec &spec,
+         const Z3Options &opts)
+{
+    RAKE_USER_CHECK(impl != nullptr, "null implementation in z3_check");
+    if (isa.name() == "hvx") {
+        // Recover the concrete DAG through the backend's own sexpr
+        // round-trip instead of assuming the handle's layout; the
+        // instruction set is tiny next to solver time, so the extra
+        // parse is noise.
+        const std::string text = isa.instr_to_sexpr(impl);
+        if (!text.empty())
+            return z3_check(ref, hvx::parse_instr(text), spec, opts);
+    }
+    // No lane encoding for this backend: Unknown, never Refuted, so
+    // callers fall back to exhaustive evaluation.
+    return {};
 }
 
 } // namespace rake::synth

@@ -19,10 +19,15 @@
 #include <string>
 #include <vector>
 
+#include "backend/instr_handle.h"
 #include "hir/expr.h"
 #include "hvx/instr.h"
 #include "synth/spec.h"
 #include "uir/uexpr.h"
+
+namespace rake::backend {
+class TargetISA;
+} // namespace rake::backend
 
 namespace rake::synth {
 
@@ -57,6 +62,21 @@ ProofOutcome z3_check(const hir::ExprPtr &ref, const uir::UExprPtr &impl,
 /** Prove two HIR expressions equal (used by simplifier tests). */
 ProofOutcome z3_check(const hir::ExprPtr &ref, const hir::ExprPtr &impl,
                       const Spec &spec, const Z3Options &opts = {});
+
+/**
+ * TargetISA-generic entry point: prove a backend's type-erased
+ * implementation equal to the HIR reference. Dispatches to the
+ * backend's lane encoding where one exists (today: HVX, recovered
+ * through the backend's own sexpr round-trip so no handle-layout
+ * assumption leaks out of the backend). Backends without an encoding
+ * (NEON) return Unknown — never Refuted — so callers can cleanly
+ * fall back to exhaustive evaluation, which is exactly what the
+ * rule miner does (synth/rules.h).
+ */
+ProofOutcome z3_check(const hir::ExprPtr &ref,
+                      const backend::TargetISA &isa,
+                      const backend::InstrHandle &impl, const Spec &spec,
+                      const Z3Options &opts = {});
 
 } // namespace rake::synth
 

@@ -3,7 +3,7 @@
  * Focused synthesis repros, runnable against either backend:
  *
  *   debug_unit [--target hvx|neon] [--greedy] [--timeout-ms N]
- *              [--cache-dir PATH]
+ *              [--cache-dir PATH] [--rules PATH] [--no-rules]
  *
  * Probes the shapes that historically regressed — the conv3x3a32
  * inner sum, scalar-weight chains of increasing length, and the
@@ -21,6 +21,7 @@
 #include "support/deadline.h"
 #include "synth/persist.h"
 #include "synth/rake.h"
+#include "synth/rules.h"
 
 using namespace rake;
 using namespace rake::hir;
@@ -93,6 +94,8 @@ main(int argc, char **argv)
         resolve_timeout_ms(args.timeout_ms, "RAKE_TIMEOUT_MS");
     const std::string cache_dir =
         synth::resolve_cache_dir(args.cache_dir);
+    const std::string rules_file =
+        synth::resolve_rules_file(args.rules, args.no_rules);
 
     int failures = 0;
     for (const Probe &p : probes()) {
@@ -101,6 +104,7 @@ main(int argc, char **argv)
         if (args.target == "hvx") {
             synth::RakeOptions opts;
             opts.cache_dir = cache_dir;
+            opts.rules_file = rules_file;
             if (timeout_ms > 0)
                 opts.deadline = Deadline::after_ms(timeout_ms);
             auto r = synth::select_instructions(p.expr, opts);
@@ -118,6 +122,7 @@ main(int argc, char **argv)
             neon::SelectOptions opts;
             opts.greedy = args.greedy;
             opts.cache_dir = cache_dir;
+            opts.rules_file = rules_file;
             if (timeout_ms > 0)
                 opts.deadline = Deadline::after_ms(timeout_ms);
             synth::SynthStatus status = synth::SynthStatus::Ok;

@@ -5,7 +5,7 @@
  *   rake_fuzz [--seed N] [--count N] [--target hvx|neon|both]
  *             [--jobs N] [--depth N] [--lanes N] [--envs N]
  *             [--timeout-ms N] [--no-minimize] [--corpus-dir PATH]
- *             [--inject-sub-bug] [--inject-spin]
+ *             [--rules PATH] [--inject-sub-bug] [--inject-spin]
  *             [--replay FILE|DIR] [--quiet]
  *
  * Default mode generates `count` random HIR programs from `seed` and
@@ -17,6 +17,10 @@
  *
  * --replay runs the oracles over an existing reproducer file (or a
  * whole corpus directory) instead of generating programs.
+ *
+ * --rules PATH arms the rules-vs-CEGIS oracle: each program is
+ * selected a second time through the rule-first stage and the result
+ * must agree with the rule-free selection's values.
  *
  * --inject-sub-bug enables the documented drill bug (the simplifier
  * oracle sees `a - b` flipped to `b - a`) to demonstrate the
@@ -57,7 +61,7 @@ usage(const std::string &msg)
                  "[--target hvx|neon|both] [--jobs N] [--depth N] "
                  "[--lanes N] [--envs N] [--timeout-ms N] "
                  "[--no-minimize] [--corpus-dir PATH] "
-                 "[--inject-sub-bug] [--inject-spin] "
+                 "[--rules PATH] [--inject-sub-bug] [--inject-spin] "
                  "[--replay FILE|DIR] [--quiet]\n";
     std::exit(2);
 }
@@ -114,6 +118,8 @@ parse_args(int argc, char **argv)
             }
         } else if (a == "--corpus-dir") {
             args.fuzz.corpus_dir = value(i, a);
+        } else if (a == "--rules") {
+            args.fuzz.oracles.rules_file = value(i, a);
         } else if (a == "--replay") {
             args.replay = value(i, a);
         } else if (a == "--no-minimize") {
