@@ -7,6 +7,10 @@
  * around 1.1-1.2x, the largest win on gaussian3x3 (paper: 2.1x), a
  * single regression on depthwise_conv (paper: 0.93x), and a block of
  * memory-bound benchmarks that tie.
+ *
+ * `--dag` swaps in the fused multi-stage suite: the same speedup table
+ * plus one whole-pipeline line per benchmark (stage count, surviving
+ * boundary swizzles, hash-cons hits, fused-schedule cycles).
  */
 #include <iostream>
 
@@ -40,7 +44,11 @@ main(int argc, char **argv)
 
     Table table({"benchmark", "exprs", "baseline cycles", "rake cycles",
                  "speedup"});
-    for (const Benchmark &b : benchmark_suite()) {
+    // --dag swaps in the fused multi-stage suite; each DAG benchmark
+    // additionally reports its negotiated-boundary and fused-schedule
+    // numbers after the table.
+    for (const Benchmark &b :
+         args.dag ? fused_suite() : benchmark_suite()) {
         if (!args.only.empty() && b.name != args.only)
             continue;
         std::cerr << "[fig11] compiling " << b.name << "...\n";
@@ -91,6 +99,24 @@ main(int argc, char **argv)
         std::cout << "\npersistent cache: " << disk_hits << " hits, "
                   << disk_writes << " writes, " << disk_invalid
                   << " invalidated\n";
+    // Whole-pipeline lines: one per DAG benchmark (stages > 0), so
+    // flat runs print nothing here and stay bit-identical.
+    bool any_dag = false;
+    for (const BenchmarkResult &r : results)
+        any_dag = any_dag || r.stages > 0;
+    if (any_dag) {
+        std::cout << "\n";
+        for (const BenchmarkResult &r : results) {
+            if (r.stages == 0)
+                continue;
+            std::cout << "pipeline " << r.name << ": " << r.stages
+                      << " stages, " << r.boundary_swizzles
+                      << " boundary swizzles (" << r.boundary_swizzles_saved
+                      << " negotiated away), " << r.hashcons_hits
+                      << " hash-cons hits, fused schedule "
+                      << r.dag_cycles << " cycles\n";
+        }
+    }
     std::cout << "\nsummary: geo-mean speedup " << fmt(geomean(speedups))
               << "x over " << speedups.size() << " benchmarks; "
               << improved << " improved (>3%), " << tied

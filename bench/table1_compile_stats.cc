@@ -31,6 +31,12 @@
  * nonzero). `--selections PATH` dumps every selected instruction DAG,
  * one canonical s-expression per line, so CI can diff a warm-rule run
  * against a rule-free one for bit-identity.
+ *
+ * `--dag` swaps the 21 flat benchmarks for the fused multi-stage
+ * suite (pipeline::fused_suite): the same columns apply, and the
+ * report/JSON gain stages / boundary_swizzles (always, for DAG
+ * benchmarks) plus hashcons_hits / boundary_swizzles_saved /
+ * dag_cycles (when nonzero).
  */
 #include <chrono>
 #include <iostream>
@@ -159,7 +165,10 @@ main(int argc, char **argv)
     synth::SynthProfile profile;
     std::string bench_json;
     std::string selections_dump;
-    for (const Benchmark &b : benchmark_suite()) {
+    // --dag swaps in the fused multi-stage suite; the Table 1 columns
+    // are the same, and DAG-only counters ride along in the JSON.
+    for (const Benchmark &b :
+         args.dag ? fused_suite() : benchmark_suite()) {
         if (!args.only.empty() && b.name != args.only)
             continue;
         std::cerr << "[table1] compiling " << b.name << "...\n";
@@ -232,6 +241,20 @@ main(int argc, char **argv)
         if (r.profile.rule_instance_rejects > 0)
             bj.put("rule_instance_rejects",
                    r.profile.rule_instance_rejects);
+        // Whole-pipeline counters: stages and boundary_swizzles are
+        // present whenever the benchmark is a real DAG (even when
+        // negotiation eliminated every swizzle), the rest only when
+        // nonzero. Flat benchmarks emit none, staying bit-identical.
+        if (r.stages > 0) {
+            bj.put("stages", r.stages);
+            bj.put("boundary_swizzles", r.boundary_swizzles);
+        }
+        if (r.boundary_swizzles_saved > 0)
+            bj.put("boundary_swizzles_saved", r.boundary_swizzles_saved);
+        if (r.hashcons_hits > 0)
+            bj.put("hashcons_hits", r.hashcons_hits);
+        if (r.dag_cycles > 0)
+            bj.put("dag_cycles", r.dag_cycles);
         if (!bench_json.empty())
             bench_json += ",";
         bench_json += bj.to_string();
@@ -315,6 +338,11 @@ main(int argc, char **argv)
             j.put("rule_instance_rejects", profile.rule_instance_rejects);
         if (profile.rule_table_size > 0)
             j.put("rule_table_size", profile.rule_table_size);
+        if (profile.stages > 0) {
+            j.put("stages", profile.stages);
+            j.put("boundary_swizzles", profile.boundary_swizzles);
+            j.put("hashcons_hits", profile.hashcons_hits);
+        }
         j.put_raw("benchmarks", "[" + bench_json + "]");
         write_text_file(args.json, j.to_string() + "\n");
         std::cout << "wrote " << args.json << "\n";

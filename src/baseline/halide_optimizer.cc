@@ -497,12 +497,24 @@ class BaselineSelector
         // Widening vector-scalar multiply.
         WTerm wt;
         if (as_widening_term(e, want.elem, &wt) && wt.weight != 1) {
-            InstrPtr v = Instr::make(
-                Opcode::VMpy,
-                {mutate(wt.src),
-                 splat_const(wt.weight, wt.src->type().elem,
-                             wt.src->type().lanes)});
-            return coerce(to_linear(v), want);
+            // vmpy reads the splat with the source's signedness, so
+            // the narrow splat only says what we mean when the weight
+            // is representable there (e.g. -3 over a u16 source would
+            // silently become 65533). Otherwise widen first and
+            // multiply in the wide type, where the weight always fits.
+            if (wt.weight == wrap(wt.src->type().elem, wt.weight)) {
+                InstrPtr v = Instr::make(
+                    Opcode::VMpy,
+                    {mutate(wt.src),
+                     splat_const(wt.weight, wt.src->type().elem,
+                                 wt.src->type().lanes)});
+                return coerce(to_linear(v), want);
+            }
+            InstrPtr zext = widen_linear(wt.src, want.elem);
+            return Instr::make(
+                Opcode::VMpyi,
+                {zext,
+                 splat_const(wt.weight, want.elem, want.lanes)});
         }
         // Word-by-halfword: Halide's vmpyio + vaslw + vmpyio route
         // (no vmpyie — that requires the unsigned-evens proof Rake
@@ -522,7 +534,23 @@ class BaselineSelector
                                    {mutate(e->arg(1 - i))}, {n});
             }
         }
-        // Fallback: non-widening multiply.
+        // Fallback: non-widening multiply. vmpyi only exists for h/w
+        // elements; HVX has no byte multiply, so Halide's byte route
+        // is the widening vmpybv pair packed back down by truncation
+        // (vshuffeb) — low bytes of the products are exactly the
+        // wraparound u8/i8 result.
+        if (bits(want.elem) < 16) {
+            InstrPtr wide = Instr::make(
+                Opcode::VMpy, {mutate(e->arg(0)), mutate(e->arg(1))});
+            InstrPtr lin = coerce(to_linear(wide),
+                                  want.with_elem(widen(want.elem)));
+            InstrPtr pair = deal(lin);
+            return coerce(
+                Instr::make(Opcode::VPackE,
+                            {Instr::make(Opcode::VLo, {pair}),
+                             Instr::make(Opcode::VHi, {pair})}),
+                want);
+        }
         return Instr::make(Opcode::VMpyi,
                            {mutate(e->arg(0)), mutate(e->arg(1))});
     }

@@ -30,8 +30,17 @@ run(const FuzzOptions &opts)
     parallel_for(opts.count, resolve_jobs(opts.jobs), [&](int i) {
         Slot &slot = slots[static_cast<size_t>(i)];
         const uint64_t seed = program_seed(opts.seed, i);
-        const hir::ExprPtr e = gen.generate(seed);
-        CheckResult res = check_expr(e, opts.oracles);
+        // Multi-stage streams run the staged-executor oracle instead
+        // of the per-expression lattice; check_expr already covers
+        // each stage's shape, so the extra signal here is purely the
+        // DAG plumbing. The reported expression is the final stage.
+        const bool staged = opts.gen.stages > 1;
+        std::vector<hir::ExprPtr> prog =
+            staged ? gen.generate_stages(seed)
+                   : std::vector<hir::ExprPtr>{gen.generate(seed)};
+        const hir::ExprPtr e = prog.back();
+        CheckResult res = staged ? check_stages(prog, opts.oracles)
+                                 : check_expr(e, opts.oracles);
         slot.hvx_selected = res.hvx_selected;
         slot.neon_selected = res.neon_selected;
         if (res.ok())
@@ -43,7 +52,9 @@ run(const FuzzOptions &opts)
         f.expr = e;
         f.shrunk = e;
         f.divergence = *res.divergence;
-        if (opts.minimize && !f.divergence.hang) {
+        // Minimization shrinks one expression; a staged finding's
+        // reproducer is the (seed, stages) pair, so report it as-is.
+        if (opts.minimize && !staged && !f.divergence.hang) {
             // Shrink while the *same* oracle keeps firing: collapsing
             // into some unrelated divergence would produce a
             // reproducer for a different bug than the one found.
@@ -69,7 +80,9 @@ run(const FuzzOptions &opts)
         Finding &f = *slot.finding;
         report.crashes += f.divergence.crash ? 1 : 0;
         report.hangs += f.divergence.hang ? 1 : 0;
-        if (!opts.corpus_dir.empty()) {
+        // Corpus files hold one expression; a staged program is
+        // regenerated from its summary line's seed instead.
+        if (!opts.corpus_dir.empty() && opts.gen.stages <= 1) {
             std::ostringstream name;
             name << opts.corpus_dir << "/repro-" << f.divergence.oracle
                  << "-s" << opts.seed << "-p" << f.index << ".sexpr";

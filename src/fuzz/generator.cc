@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/arith.h"
+#include "hir/analysis.h"
 #include "support/error.h"
 
 namespace rake::fuzz {
@@ -18,6 +19,9 @@ namespace {
  */
 constexpr int kU8Buffer = 0;
 constexpr int kU16Buffer = 1;
+
+/** First intermediate buffer id: stage i's output is 8+i. */
+constexpr int kStageBuffer = 8;
 
 } // namespace
 
@@ -47,6 +51,48 @@ Generator::generate(uint64_t seed) const
 {
     Rng rng(seed);
     return vec_expr(rng, pick_elem(rng), opts_.max_depth);
+}
+
+std::vector<hir::ExprPtr>
+Generator::generate_stages(uint64_t seed) const
+{
+    using hir::Expr;
+    std::vector<hir::ExprPtr> stages;
+    stages.push_back(generate(seed));
+    if (opts_.stages > 1 &&
+        hir::collect_loads(stages.back()).empty()) {
+        // A load-free stage 0 (constant/var-only leaves) gives the
+        // staged executor no image to size the pipeline from. Graft
+        // the canonical u8 input the same way the inter-stage links
+        // below graft theirs, so every staged program is executable.
+        // Single-stage mode stays byte-identical to the classic
+        // stream (check_expr handles load-free programs fine).
+        hir::ExprPtr body = stages.back();
+        const ScalarType elem = body->type().elem;
+        hir::ExprPtr in = Expr::make_load(
+            hir::LoadRef{0, 0, 0},
+            VecType(ScalarType::UInt8, opts_.lanes));
+        if (elem != ScalarType::UInt8)
+            in = Expr::make_cast(elem, in);
+        stages.back() = Expr::make(hir::Op::Max, {body, in});
+    }
+    for (int k = 1; k < opts_.stages; ++k) {
+        // Each later stage is its own program from a derived stream
+        // (offset past any plausible corpus index so stage seeds never
+        // collide with sibling programs), then grafts a load of the
+        // previous stage's output so the pipeline edge is always live.
+        Rng rng(program_seed(seed, 1 << 20 | k));
+        const ScalarType elem = pick_elem(rng);
+        hir::ExprPtr body = vec_expr(rng, elem, opts_.max_depth);
+        const ScalarType prev = stages.back()->type().elem;
+        hir::ExprPtr link = Expr::make_load(
+            hir::LoadRef{kStageBuffer + (k - 1), 0, 0},
+            VecType(prev, opts_.lanes));
+        if (prev != elem)
+            link = Expr::make_cast(elem, link);
+        stages.push_back(Expr::make(hir::Op::Max, {body, link}));
+    }
+    return stages;
 }
 
 ScalarType

@@ -56,6 +56,14 @@ struct GenWeights {
 struct GenOptions {
     int max_depth = 3; ///< interior-node depth bound
     int lanes = 16;    ///< lane count of every vector in the program
+    /**
+     * Stages per program (generate_stages). 1 keeps the classic
+     * single-expression stream byte-identical; k > 1 chains stages
+     * into a pipeline: stage i reads stage i-1's output through the
+     * reserved intermediate buffer 8+(i-1), exercising the DAG
+     * executor against the composed per-stage interpreters.
+     */
+    int stages = 1;
     /** Element types the generator roots programs at and casts through. */
     std::vector<ScalarType> elems = {
         ScalarType::UInt8, ScalarType::Int16, ScalarType::UInt16,
@@ -78,6 +86,14 @@ class Generator
 
     /** The one program identified by `seed` (deterministic). */
     hir::ExprPtr generate(uint64_t seed) const;
+
+    /**
+     * The multi-stage program identified by `seed`: opts.stages
+     * chained expressions, stage i > 0 grafting a load of stage
+     * i-1's output (buffer 8+(i-1), offset 0) into its tree. With
+     * stages == 1 this is exactly {generate(seed)}.
+     */
+    std::vector<hir::ExprPtr> generate_stages(uint64_t seed) const;
 
   private:
     hir::ExprPtr vec_expr(Rng &rng, ScalarType elem, int depth) const;

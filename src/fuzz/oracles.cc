@@ -3,12 +3,16 @@
 #include <sstream>
 #include <vector>
 
+#include "baseline/halide_optimizer.h"
+#include "hir/analysis.h"
 #include "hir/interp.h"
 #include "hir/printer.h"
 #include "hir/sexpr.h"
 #include "hir/simplify.h"
 #include "hvx/interp.h"
 #include "neon/select.h"
+#include "pipeline/dag.h"
+#include "pipeline/executor.h"
 #include "support/deadline.h"
 #include "support/error.h"
 #include "synth/rake.h"
@@ -253,6 +257,116 @@ check_expr(const hir::ExprPtr &e, const OracleOptions &opts)
                     /*crash=*/true);
     } catch (...) {
         return fail(stage, "unknown exception", /*crash=*/true);
+    }
+    return res;
+}
+
+namespace {
+
+/** Element type `e` loads from `buffer`, if any load of it exists. */
+std::optional<ScalarType>
+load_elem(const hir::ExprPtr &e, int buffer)
+{
+    if (e->op() == hir::Op::Load && e->load_ref().buffer == buffer)
+        return e->type().elem;
+    for (const hir::ExprPtr &a : e->args())
+        if (auto r = load_elem(a, buffer))
+            return r;
+    return std::nullopt;
+}
+
+} // namespace
+
+CheckResult
+check_stages(const std::vector<hir::ExprPtr> &stages,
+             const OracleOptions &opts)
+{
+    CheckResult res;
+    auto fail = [&](std::string oracle, std::string detail,
+                    bool crash = false, bool hang = false) {
+        res.divergence = Divergence{std::move(oracle), std::move(detail),
+                                    crash, hang};
+        return res;
+    };
+    const Deadline guard = opts.timeout_ms > 0
+                               ? Deadline::after_ms(opts.timeout_ms)
+                               : Deadline();
+    try {
+        RAKE_CHECK(!stages.empty(), "check_stages needs >= 1 stage");
+
+        // Wire the staged program into a Benchmark: stage i reads
+        // stage i-1 through the generator's reserved buffer 8+(i-1).
+        pipeline::Benchmark bench;
+        bench.name = "fuzz-pipeline";
+        for (size_t i = 0; i < stages.size(); ++i) {
+            pipeline::KernelExpr k;
+            k.name = "s" + std::to_string(i);
+            k.expr = stages[i];
+            k.iterations = 1;
+            if (i > 0)
+                k.deps.emplace(8 + static_cast<int>(i) - 1,
+                               "s" + std::to_string(i - 1));
+            bench.exprs.push_back(std::move(k));
+        }
+        const pipeline::PipelineDag dag = pipeline::from_benchmark(bench);
+
+        // Baseline-select each stage (total, deterministic, and cheap;
+        // per-expression selection correctness is check_expr's job —
+        // this oracle stresses the staged executor itself).
+        guard.check("dag: baseline selection");
+        hvx::Target target;
+        std::vector<hvx::InstrPtr> programs;
+        programs.reserve(dag.stages.size());
+        for (const pipeline::DagStage &s : dag.stages)
+            programs.push_back(
+                baseline::select_instructions(s.expr, target));
+        res.hvx_selected = true;
+
+        // External inputs follow the generator's buffer convention
+        // (0 = u8, 1 = u16), but bind whatever the slot-space loads
+        // actually say so hand-written stage sets work too.
+        const int lanes = stages.front()->type().lanes;
+        std::map<int, pipeline::Image> inputs;
+        for (const pipeline::DagStage &s : dag.stages)
+            for (const pipeline::StageInput &in : s.inputs) {
+                if (in.external < 0 || inputs.count(in.external))
+                    continue;
+                const auto elem = load_elem(s.expr, in.slot);
+                RAKE_CHECK(elem.has_value(),
+                           "stage " << s.name << " never loads slot "
+                                    << in.slot);
+                inputs.emplace(in.external,
+                               pipeline::Image::synthetic(
+                                   *elem, lanes * 2, 4,
+                                   opts.env_seed +
+                                       static_cast<uint64_t>(
+                                           in.external)));
+            }
+        std::map<std::string, int64_t> scalars;
+        for (const hir::ExprPtr &e : stages)
+            for (const std::string &v : hir::collect_vars(e))
+                scalars.emplace(v, 7);
+
+        guard.check("dag: staged execution");
+        const pipeline::Image expected =
+            pipeline::run_dag_reference(dag, inputs, scalars);
+        const pipeline::Image actual =
+            pipeline::run_dag(dag, programs, inputs, scalars);
+        const int64_t bad = pipeline::count_mismatches(expected, actual);
+        if (bad > 0) {
+            std::ostringstream os;
+            os << "staged executor vs composed HIR reference: " << bad
+               << " mismatching pixel(s) over " << stages.size()
+               << " stages";
+            return fail("dag", os.str());
+        }
+    } catch (const TimeoutError &ex) {
+        return fail("dag", ex.what(), /*crash=*/false, /*hang=*/true);
+    } catch (const std::exception &ex) {
+        return fail("dag", std::string("exception: ") + ex.what(),
+                    /*crash=*/true);
+    } catch (...) {
+        return fail("dag", "unknown exception", /*crash=*/true);
     }
     return res;
 }

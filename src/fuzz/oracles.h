@@ -26,6 +26,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "hir/expr.h"
 
@@ -101,6 +102,19 @@ struct CheckResult {
 
 /** Run the lattice over `e`. Never throws; crashes are captured. */
 CheckResult check_expr(const hir::ExprPtr &e, const OracleOptions &opts);
+
+/**
+ * The multi-stage oracle ("dag"): the generator's staged program
+ * (stage i reading stage i-1 through buffer 8+(i-1)) is wired into a
+ * pipeline DAG, each stage is lowered with the baseline selector, and
+ * the staged executor's output image must equal composing the stages'
+ * HIR reference interpreters. This is the end-to-end check of the DAG
+ * plumbing — topo ordering, slot binding, boundary validation —
+ * rather than of per-expression selection (check_expr covers that).
+ * Never throws; crashes are captured like check_expr's.
+ */
+CheckResult check_stages(const std::vector<hir::ExprPtr> &stages,
+                         const OracleOptions &opts);
 
 } // namespace rake::fuzz
 

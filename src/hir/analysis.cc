@@ -212,6 +212,60 @@ op_histogram(const ExprPtr &e)
     return hist;
 }
 
+namespace {
+
+ExprPtr
+rewrite_loads(const ExprPtr &e, const std::map<int, int> &remap,
+              std::unordered_map<const Expr *, ExprPtr> *memo)
+{
+    auto it = memo->find(e.get());
+    if (it != memo->end())
+        return it->second;
+    ExprPtr out = e;
+    if (e->op() == Op::Load) {
+        auto rit = remap.find(e->load_ref().buffer);
+        if (rit != remap.end() && rit->second != e->load_ref().buffer) {
+            LoadRef ref = e->load_ref();
+            ref.buffer = rit->second;
+            out = Expr::make_load(ref, e->type());
+        }
+    } else if (e->num_args() > 0) {
+        std::vector<ExprPtr> args;
+        args.reserve(e->args().size());
+        bool changed = false;
+        for (const ExprPtr &a : e->args()) {
+            ExprPtr c = rewrite_loads(a, remap, memo);
+            changed |= c.get() != a.get();
+            args.push_back(std::move(c));
+        }
+        if (changed) {
+            switch (e->op()) {
+              case Op::Cast:
+                out = Expr::make_cast(e->type().elem, args[0]);
+                break;
+              case Op::Broadcast:
+                out = Expr::make_broadcast(args[0], e->type().lanes);
+                break;
+              default:
+                out = Expr::make(e->op(), std::move(args));
+                break;
+            }
+        }
+    }
+    memo->emplace(e.get(), out);
+    return out;
+}
+
+} // namespace
+
+ExprPtr
+rewrite_load_buffers(const ExprPtr &e, const std::map<int, int> &remap)
+{
+    RAKE_CHECK(e != nullptr, "rewrite_load_buffers null expression");
+    std::unordered_map<const Expr *, ExprPtr> memo;
+    return rewrite_loads(e, remap, &memo);
+}
+
 Interval
 range_of(const ExprPtr &e)
 {

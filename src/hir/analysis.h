@@ -30,6 +30,16 @@ std::set<std::string> collect_vars(const ExprPtr &e);
 std::map<Op, int> op_histogram(const ExprPtr &e);
 
 /**
+ * Rewrite every load's buffer id through `remap` (ids absent from the
+ * map are kept). Types, offsets, and all non-load structure are
+ * preserved; unchanged subtrees are returned by pointer so a rewrite
+ * with an identity map is the identity on pointers. Used by the
+ * pipeline DAG layer to move stage expressions into slot space.
+ */
+ExprPtr rewrite_load_buffers(const ExprPtr &e,
+                             const std::map<int, int> &remap);
+
+/**
  * A closed integer interval [min, max]; used as the abstract domain
  * of the range analysis. The total order invariant min <= max always
  * holds.

@@ -1,0 +1,46 @@
+#include "hir/hashcons.h"
+
+#include <vector>
+
+namespace rake::hir {
+
+ExprPtr
+HashCons::intern(const ExprPtr &e)
+{
+    auto mit = memo_.find(e.get());
+    if (mit != memo_.end())
+        return mit->second;
+
+    ExprPtr rebuilt = e;
+    if (e->num_args() > 0) {
+        std::vector<ExprPtr> args;
+        args.reserve(e->args().size());
+        bool changed = false;
+        for (const ExprPtr &a : e->args()) {
+            ExprPtr c = intern(a);
+            changed |= c.get() != a.get();
+            args.push_back(std::move(c));
+        }
+        if (changed) {
+            switch (e->op()) {
+              case Op::Cast:
+                rebuilt = Expr::make_cast(e->type().elem, args[0]);
+                break;
+              case Op::Broadcast:
+                rebuilt = Expr::make_broadcast(args[0], e->type().lanes);
+                break;
+              default:
+                rebuilt = Expr::make(e->op(), std::move(args));
+                break;
+            }
+        }
+    }
+
+    auto [it, inserted] = canon_.emplace(rebuilt, rebuilt);
+    if (!inserted)
+        ++hits_;
+    memo_.emplace(e.get(), it->second);
+    return it->second;
+}
+
+} // namespace rake::hir

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Hash-consing (structural interning) of HIR expressions.
+ *
+ * The pipeline DAG layer interns every stage expression through one
+ * HashCons table so that structurally identical subtrees collapse to a
+ * single canonical node. Downstream, one canonical subtree means one
+ * synthesis query, one cache entry, and one rule match feeding every
+ * consumer — the whole-pipeline analogue of the per-expression
+ * memoization the synthesis cache already does by structural hash.
+ *
+ * Interning is bottom-up: children are interned first, then the node
+ * itself is rebuilt over the canonical children and looked up in the
+ * table. A pointer memo makes repeat interning of shared subgraphs
+ * O(1) per node.
+ */
+#ifndef RAKE_HIR_HASHCONS_H
+#define RAKE_HIR_HASHCONS_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "hir/expr.h"
+
+namespace rake::hir {
+
+class HashCons
+{
+  public:
+    /**
+     * Return the canonical expression structurally equal to `e`.
+     *
+     * The first time a structure is seen its (rebuilt) node becomes
+     * canonical; later calls with an equal structure return the same
+     * pointer. `hits()` counts the input nodes that resolved to an
+     * already-canonical node (i.e. sharing discovered), excluding
+     * pointer-identical re-visits within one tree.
+     */
+    ExprPtr intern(const ExprPtr &e);
+
+    /** Distinct canonical nodes in the table. */
+    int64_t nodes() const { return static_cast<int64_t>(canon_.size()); }
+
+    /** Input nodes that resolved to an existing canonical node. */
+    int64_t hits() const { return hits_; }
+
+  private:
+    struct Hash {
+        size_t operator()(const ExprPtr &e) const { return e->hash(); }
+    };
+    struct Eq {
+        bool
+        operator()(const ExprPtr &a, const ExprPtr &b) const
+        {
+            return a.get() == b.get() || a->equals(*b);
+        }
+    };
+
+    std::unordered_map<ExprPtr, ExprPtr, Hash, Eq> canon_;
+    std::unordered_map<const Expr *, ExprPtr> memo_;
+    int64_t hits_ = 0;
+};
+
+} // namespace rake::hir
+
+#endif // RAKE_HIR_HASHCONS_H

@@ -19,7 +19,15 @@ namespace rake::pipeline {
 /** The full 21-benchmark suite, in Table 1 order. */
 const std::vector<Benchmark> &benchmark_suite();
 
-/** Look up one benchmark by name; throws UserError if unknown. */
+/**
+ * The multi-stage pipeline corpus behind the drivers' `--dag` flag:
+ * fused chains (blur->sobel->threshold), a shared-subtree stereo
+ * kernel, and the two Table 1 benchmarks that are really two-stage
+ * DAGs (average_pool, depthwise_conv).
+ */
+const std::vector<Benchmark> &fused_suite();
+
+/** Look up one benchmark by name (either suite); throws UserError. */
 const Benchmark &benchmark(const std::string &name);
 
 /** The Sobel vector expression of Fig. 3 (used by several benches). */

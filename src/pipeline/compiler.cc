@@ -1,14 +1,20 @@
 #include "pipeline/compiler.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 
+#include "hir/analysis.h"
 #include "hir/interp.h"
 #include "hvx/interp.h"
+#include "pipeline/dag.h"
+#include "pipeline/executor.h"
+#include "sim/linearize.h"
 #include "support/deadline.h"
 #include "support/error.h"
 #include "support/thread_pool.h"
 #include "synth/cache.h"
+#include "synth/swizzle.h"
 
 namespace rake::pipeline {
 
@@ -20,6 +26,60 @@ now_seconds()
     using clock = std::chrono::steady_clock;
     return std::chrono::duration<double>(clock::now().time_since_epoch())
         .count();
+}
+
+/** Element type stage `expr` loads from buffer/slot `buffer`. */
+ScalarType
+slot_elem(const hir::ExprPtr &expr, int buffer)
+{
+    if (expr->op() == hir::Op::Load &&
+        expr->load_ref().buffer == buffer)
+        return expr->type().elem;
+    for (const hir::ExprPtr &a : expr->args()) {
+        for (const hir::LoadRef &l : hir::collect_loads(a))
+            if (l.buffer == buffer)
+                return slot_elem(a, buffer);
+    }
+    RAKE_UNREACHABLE("slot " << buffer << " has no load");
+}
+
+/**
+ * End-to-end image check of the negotiated stage programs: the DAG
+ * executor over the final (possibly re-laid-out) programs must equal
+ * composing the stages' HIR interpreters. Per-stage validation runs
+ * before negotiation; this is the only check that sees the boundary
+ * permutes, whose effects must cancel across each edge.
+ */
+void
+validate_dag_programs(const PipelineDag &dag,
+                      const std::vector<hvx::InstrPtr> &programs)
+{
+    int lanes = 1;
+    std::map<std::string, int64_t> scalars;
+    for (const DagStage &stage : dag.stages) {
+        lanes = std::max(lanes, stage.expr->type().lanes);
+        for (const std::string &v : hir::collect_vars(stage.expr))
+            scalars.emplace(v, 5);
+    }
+
+    std::map<int, Image> inputs;
+    uint64_t seed = 1;
+    for (const DagStage &stage : dag.stages)
+        for (const StageInput &in : stage.inputs) {
+            if (in.external < 0 || inputs.count(in.external))
+                continue;
+            inputs.emplace(
+                in.external,
+                Image::synthetic(slot_elem(stage.expr, in.slot), lanes,
+                                 4, seed++));
+        }
+
+    const Image expected = run_dag_reference(dag, inputs, scalars);
+    const Image actual = run_dag(dag, programs, inputs, scalars);
+    RAKE_CHECK(count_mismatches(expected, actual) == 0,
+               "pipeline '" << dag.name
+                            << "': DAG executor disagrees with the "
+                               "composed HIR reference");
 }
 
 } // namespace
@@ -51,6 +111,13 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
     result.name = bench.name;
     result.optimized_exprs = static_cast<int>(bench.exprs.size());
 
+    // Lower to the pipeline DAG first: this validates stage deps and,
+    // for multi-stage benchmarks, moves each stage into slot space and
+    // hash-conses shared subtrees. Flat benchmarks come back with
+    // their expressions pointer-identical, so the legacy path below is
+    // exactly the degenerate one-node-per-expression DAG.
+    const PipelineDag dag = from_benchmark(bench);
+
     const synth::CacheStats cache_before =
         synth::synthesis_cache().stats();
     const double t0 = now_seconds();
@@ -73,6 +140,9 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
     std::vector<ExprCompilation> compiled(n);
     parallel_for(n, jobs, [&](int i) {
         const KernelExpr &kernel = bench.exprs[i];
+        // The stage's (possibly slot-space, hash-consed) expression;
+        // pointer-identical to kernel.expr for flat benchmarks.
+        const hir::ExprPtr &expr = dag.stages[i].expr;
         const double e0 = now_seconds();
         ExprCompilation ec;
         ec.kernel = &kernel;
@@ -82,7 +152,7 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
                     kernel.name.c_str());
         // Baseline (Halide's pattern-matching selector).
         ec.baseline = baseline::select_instructions(
-            kernel.expr, opts.rake.target, opts.baseline);
+            expr, opts.rake.target, opts.baseline);
 
         // Rake (three-stage synthesis). Falls back to the baseline's
         // code when synthesis cannot produce a verified result.
@@ -93,7 +163,7 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
             ropts.deadline = ropts.deadline.sooner(
                 Deadline::after_ms(opts.timeout_ms));
         ropts.deadline = ropts.deadline.sooner(run_deadline);
-        auto rk = synth::select_instructions(kernel.expr, ropts);
+        auto rk = synth::select_instructions(expr, ropts);
         if (rk) {
             ec.rake = rk->instr;
             ec.rake_result = *rk;
@@ -103,10 +173,10 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
             if (std::getenv("RAKE_TRACE"))
                 fprintf(stderr, "[compile] %s: validate\n",
                         kernel.name.c_str());
-            validate_against_reference(kernel.expr, ec.baseline,
+            validate_against_reference(expr, ec.baseline,
                                        opts.validate_trials, 17);
             if (ec.rake)
-                validate_against_reference(kernel.expr, ec.rake,
+                validate_against_reference(expr, ec.rake,
                                            opts.validate_trials, 17);
         }
 
@@ -118,6 +188,85 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
         ec.seconds = now_seconds() - e0;
         compiled[i] = std::move(ec);
     });
+
+    // Cross-stage layout negotiation (multi-stage benchmarks only):
+    // pick one stored layout per producer edge by measured cycles,
+    // emitting the surviving boundary permutes as real instructions.
+    // This is the measured replacement for the old modeled
+    // boundary-penalty fee.
+    if (dag.has_edges()) {
+        result.stages = n;
+        result.hashcons_hits = dag.hashcons_hits;
+
+        std::vector<int> topo_pos(n);
+        for (int t = 0; t < n; ++t)
+            topo_pos[dag.topo[t]] = t;
+
+        std::vector<synth::StageProgram> sps(n);
+        for (int t = 0; t < n; ++t) {
+            const int i = dag.topo[t];
+            const ExprCompilation &ec = compiled[i];
+            sps[t].instr = ec.rake ? ec.rake : ec.baseline;
+            sps[t].iterations = bench.exprs[i].iterations;
+            for (const StageInput &in : dag.stages[i].inputs)
+                if (in.producer >= 0)
+                    sps[t].producers.emplace(in.slot,
+                                             topo_pos[in.producer]);
+        }
+        const synth::NegotiationResult neg = synth::negotiate_layouts(
+            sps, opts.rake.target, opts.machine);
+        result.boundary_swizzles = neg.boundary_swizzles;
+        result.boundary_swizzles_saved = neg.boundary_swizzles_saved;
+        result.profile.stages = n;
+        result.profile.boundary_swizzles = neg.boundary_swizzles;
+        result.profile.hashcons_hits = dag.hashcons_hits;
+
+        std::vector<hvx::InstrPtr> final_programs(n);
+        for (int t = 0; t < n; ++t) {
+            const int i = dag.topo[t];
+            ExprCompilation &ec = compiled[i];
+            final_programs[i] = neg.programs[t];
+            if (ec.rake)
+                ec.rake = neg.programs[t];
+            ec.rake_sched = sim::schedule(neg.programs[t],
+                                          opts.rake.target, opts.machine);
+        }
+
+        // Whole-DAG fused schedule: stage programs concatenated in
+        // topo order, intermediate buffers given whole-DAG ids so
+        // stage-boundary reads wait for the producer's stores.
+        int max_ext = -1;
+        for (const DagStage &s : dag.stages)
+            for (const StageInput &in : s.inputs)
+                max_ext = std::max(max_ext, in.external);
+        std::vector<sim::DagScheduleInput> fused(n);
+        int64_t fused_iters = 0;
+        for (int t = 0; t < n; ++t) {
+            const int i = dag.topo[t];
+            std::map<int, int> remap;
+            for (const StageInput &in : dag.stages[i].inputs) {
+                const int gid = in.external >= 0
+                                    ? in.external
+                                    : max_ext + 1 + in.producer;
+                remap[in.slot] = gid;
+                if (in.producer >= 0)
+                    fused[t].producers.emplace(gid,
+                                               topo_pos[in.producer]);
+            }
+            fused[t].root =
+                sim::remap_read_buffers(neg.programs[t], remap);
+            fused[t].iterations = bench.exprs[i].iterations;
+            fused_iters = std::max(fused_iters, fused[t].iterations);
+        }
+        result.dag_cycles =
+            sim::schedule_dag(fused, opts.rake.target, opts.machine)
+                .cycles(fused_iters);
+
+        // End-to-end check over the negotiated programs: boundary
+        // permutes must cancel exactly across every edge.
+        if (opts.validate)
+            validate_dag_programs(dag, final_programs);
+    }
 
     // Phase 2 (sequential, in suite order): aggregation is identical
     // for every job count because it never depends on completion
@@ -139,15 +288,6 @@ compile_benchmark(const Benchmark &bench, const CompileOptions &opts)
             result.swizzle_queries += rk.lower.swizzle.queries;
             result.swizzle_seconds += rk.lower.swizzle.seconds;
             result.profile.add(rk);
-        }
-
-        // §7.3 cross-expression layout penalty (see Benchmark):
-        // charged once, to the first expression of the pipeline.
-        if (bench.rake_boundary_penalty > 0 && i == 0) {
-            ec.rake_sched.initiation_interval +=
-                bench.rake_boundary_penalty;
-            ec.rake_sched.schedule_length +=
-                bench.rake_boundary_penalty;
         }
 
         result.baseline_cycles +=

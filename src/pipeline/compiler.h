@@ -14,6 +14,7 @@
 #ifndef RAKE_PIPELINE_COMPILER_H
 #define RAKE_PIPELINE_COMPILER_H
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +31,16 @@ struct KernelExpr {
     std::string name;     ///< human label (e.g. "row-conv")
     hir::ExprPtr expr;    ///< the lowered vector expression
     int64_t iterations = 4096; ///< inner-loop trips over the image
+
+    /**
+     * Stage-boundary edges: buffer id read by this expression →
+     * name of the KernelExpr (in the same Benchmark) that produces
+     * it. Buffers not listed here are external pipeline inputs.
+     * Empty for single-stage kernels, in which case the benchmark
+     * compiles as a degenerate one-node-per-expression DAG and stays
+     * bit-identical to the legacy flat path.
+     */
+    std::map<int, std::string> deps = {};
 };
 
 /** A benchmark: a named set of kernel expressions. */
@@ -37,16 +48,6 @@ struct Benchmark {
     std::string name;
     std::string category; ///< paper §7 grouping
     std::vector<KernelExpr> exprs;
-
-    /**
-     * Extra per-iteration permute issues charged to Rake's schedule,
-     * modeling the paper's §7.3 limitation: Rake optimizes each
-     * expression individually and cannot re-layout intermediate
-     * buffers across expressions the way Halide's whole-pipeline
-     * optimizer can. Non-zero only for the benchmarks the paper calls
-     * out (depthwise_conv, average_pool).
-     */
-    int rake_boundary_penalty = 0;
 };
 
 /** Per-expression compilation artifacts. */
@@ -109,6 +110,18 @@ struct BenchmarkResult {
     // them only when nonzero, keeping no-deadline output bit-identical.
     int timeouts = 0; ///< expressions whose synthesis hit the deadline
     int degraded = 0; ///< expressions that shipped the greedy fallback
+
+    // Whole-pipeline selection (DESIGN.md "Whole-pipeline selection").
+    // `stages` and `boundary_swizzles` are reported whenever the
+    // benchmark's DAG has at least one stage-boundary edge (even when
+    // zero swizzles remain); the rest only when nonzero. Flat
+    // benchmarks report none of them, keeping legacy output
+    // bit-identical.
+    int stages = 0;             ///< DAG nodes (0 for flat benchmarks)
+    int boundary_swizzles = 0;  ///< permutes left on stage boundaries
+    int boundary_swizzles_saved = 0; ///< removed by layout negotiation
+    int64_t hashcons_hits = 0;  ///< shared HIR subtrees deduplicated
+    int64_t dag_cycles = 0;     ///< whole-DAG concatenated schedule
 
     /** Per-stage/per-rule rollup behind the `--profile` breakdown. */
     synth::SynthProfile profile;

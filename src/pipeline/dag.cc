@@ -1,0 +1,155 @@
+#include "pipeline/dag.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "hir/analysis.h"
+#include "support/error.h"
+
+namespace rake::pipeline {
+
+namespace {
+
+/** Type of the first load from `buffer` anywhere in `e` (or nullopt). */
+void
+find_load_type(const hir::ExprPtr &e, int buffer, const VecType **out)
+{
+    if (*out)
+        return;
+    if (e->op() == hir::Op::Load && e->load_ref().buffer == buffer) {
+        *out = &e->type();
+        return;
+    }
+    for (const auto &a : e->args())
+        find_load_type(a, buffer, out);
+}
+
+} // namespace
+
+PipelineDag
+from_benchmark(const Benchmark &bench)
+{
+    PipelineDag dag;
+    dag.name = bench.name;
+
+    bool any_deps = false;
+    for (const KernelExpr &k : bench.exprs)
+        any_deps |= !k.deps.empty();
+
+    std::map<std::string, int> index_of;
+    for (size_t i = 0; i < bench.exprs.size(); ++i) {
+        const std::string &n = bench.exprs[i].name;
+        auto [it, inserted] = index_of.emplace(n, static_cast<int>(i));
+        if (!inserted && any_deps)
+            throw UserError("pipeline '" + bench.name +
+                            "': duplicate stage name '" + n + "'");
+    }
+
+    // Per-stage edge lists (producer stage index per input buffer).
+    std::vector<std::vector<int>> preds(bench.exprs.size());
+
+    for (size_t i = 0; i < bench.exprs.size(); ++i) {
+        const KernelExpr &k = bench.exprs[i];
+        DagStage stage;
+        stage.name = k.name;
+        stage.iterations = k.iterations;
+        stage.kernel = &k;
+
+        const std::set<hir::LoadRef> loads = hir::collect_loads(k.expr);
+        std::vector<int> buffers;
+        for (const hir::LoadRef &l : loads)
+            if (buffers.empty() || buffers.back() != l.buffer)
+                buffers.push_back(l.buffer);
+
+        for (const auto &[buf, producer_name] : k.deps) {
+            if (!std::binary_search(buffers.begin(), buffers.end(), buf))
+                throw UserError("pipeline '" + bench.name + "': stage '" +
+                                k.name + "' declares a dep on buffer " +
+                                std::to_string(buf) +
+                                " it never loads");
+            auto pit = index_of.find(producer_name);
+            if (pit == index_of.end())
+                throw UserError("pipeline '" + bench.name + "': stage '" +
+                                k.name + "' depends on unknown stage '" +
+                                producer_name + "'");
+            const KernelExpr &producer = bench.exprs[pit->second];
+            const VecType *load_type = nullptr;
+            find_load_type(k.expr, buf, &load_type);
+            RAKE_CHECK(load_type != nullptr, "load vanished");
+            const VecType &out_type = producer.expr->type();
+            if (load_type->elem != out_type.elem ||
+                load_type->lanes != out_type.lanes)
+                throw UserError(
+                    "pipeline '" + bench.name + "': stage '" + k.name +
+                    "' loads buffer " + std::to_string(buf) + " as " +
+                    to_string(*load_type) + " but stage '" +
+                    producer_name + "' produces " + to_string(out_type));
+            preds[i].push_back(pit->second);
+        }
+
+        // Slot-space rewrite: dense-renumber this stage's buffers so
+        // structurally identical stages over different inputs unify
+        // under hash-consing. Flat benchmarks skip it entirely so
+        // their expressions stay pointer-identical to the kernel's.
+        std::map<int, int> remap;
+        if (any_deps)
+            for (size_t s = 0; s < buffers.size(); ++s)
+                remap[buffers[s]] = static_cast<int>(s);
+        stage.expr = any_deps
+                         ? hir::rewrite_load_buffers(k.expr, remap)
+                         : k.expr;
+        for (size_t s = 0; s < buffers.size(); ++s) {
+            StageInput in;
+            in.slot = any_deps ? static_cast<int>(s) : buffers[s];
+            auto dit = k.deps.find(buffers[s]);
+            if (dit != k.deps.end())
+                in.producer = index_of.at(dit->second);
+            else
+                in.external = buffers[s];
+            stage.inputs.push_back(in);
+        }
+        dag.stages.push_back(std::move(stage));
+    }
+
+    // Kahn's algorithm; the ready set is kept sorted by declaration
+    // index so the topo order is deterministic.
+    const int n = static_cast<int>(dag.stages.size());
+    std::vector<int> indegree(n, 0);
+    std::vector<std::vector<int>> succs(n);
+    for (int i = 0; i < n; ++i)
+        for (int p : preds[i]) {
+            ++indegree[i];
+            succs[p].push_back(i);
+        }
+    std::set<int> ready;
+    for (int i = 0; i < n; ++i)
+        if (indegree[i] == 0)
+            ready.insert(i);
+    while (!ready.empty()) {
+        const int i = *ready.begin();
+        ready.erase(ready.begin());
+        dag.topo.push_back(i);
+        for (int s : succs[i])
+            if (--indegree[s] == 0)
+                ready.insert(s);
+    }
+    if (static_cast<int>(dag.topo.size()) != n)
+        throw UserError("pipeline '" + bench.name +
+                        "': stage dependencies form a cycle");
+
+    // Hash-cons stage expressions so shared subtrees become one
+    // canonical node (one synthesis query / cache entry for all
+    // consumers). Only when edges exist: flat benchmarks must keep
+    // their expressions pointer-identical to the legacy path.
+    if (any_deps) {
+        hir::HashCons hc;
+        for (DagStage &s : dag.stages)
+            s.expr = hc.intern(s.expr);
+        dag.hashcons_hits = hc.hits();
+    }
+    return dag;
+}
+
+} // namespace rake::pipeline

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * PipelineDag: a benchmark as a DAG of named stages.
+ *
+ * The paper's pipeline model (§7.3) treats each vector expression in
+ * isolation; this layer recovers the whole-kernel graph view. Each
+ * KernelExpr becomes a stage; a stage's `deps` name which of its
+ * buffers are really other stages' outputs (stage-boundary edges)
+ * rather than external images.
+ *
+ * Stages with edges are rewritten into *slot space*: each stage's
+ * distinct buffer ids are renumbered to dense slots 0..k-1 so that two
+ * stages doing the same computation on different inputs (e.g. the left
+ * and right smoothing passes of a stereo kernel) become structurally
+ * identical HIR — which the hash-cons table then collapses into one
+ * canonical subtree, one synthesis query, and one cache entry. The
+ * StageInput table remembers what each slot was (an external buffer id
+ * or a producer stage). Flat benchmarks (no deps anywhere) keep their
+ * expressions pointer-identical, so the legacy single-expression path
+ * is exactly the degenerate one-node DAG.
+ */
+#ifndef RAKE_PIPELINE_DAG_H
+#define RAKE_PIPELINE_DAG_H
+
+#include <string>
+#include <vector>
+
+#include "hir/hashcons.h"
+#include "pipeline/compiler.h"
+
+namespace rake::pipeline {
+
+/** What one slot (dense buffer id) of a stage's expression binds to. */
+struct StageInput {
+    int slot = 0;      ///< buffer id as the stage's expression sees it
+    int external = -1; ///< original external buffer id, or -1
+    int producer = -1; ///< producing stage index, or -1
+};
+
+/** One node of the pipeline DAG. */
+struct DagStage {
+    std::string name;
+    hir::ExprPtr expr; ///< slot-space (pointer-equal to kernel->expr
+                       ///< when the benchmark has no edges)
+    int64_t iterations = 0;
+    std::vector<StageInput> inputs; ///< one per distinct slot, ascending
+    const KernelExpr *kernel = nullptr;
+
+    /** Inputs fed by another stage (stage-boundary edges into here). */
+    int
+    edge_inputs() const
+    {
+        int n = 0;
+        for (const StageInput &in : inputs)
+            n += in.producer >= 0;
+        return n;
+    }
+};
+
+/** A benchmark lowered to a DAG of stages. */
+struct PipelineDag {
+    std::string name;
+    std::vector<DagStage> stages; ///< declaration order
+    std::vector<int> topo;        ///< stage indices, topologically sorted
+    int64_t hashcons_hits = 0;    ///< shared subtrees found while interning
+
+    bool
+    has_edges() const
+    {
+        return edge_count() > 0;
+    }
+
+    int
+    edge_count() const
+    {
+        int n = 0;
+        for (const DagStage &s : stages)
+            n += s.edge_inputs();
+        return n;
+    }
+};
+
+/**
+ * Lower a Benchmark to its DAG. Validates the graph: every dep must
+ * name an existing stage, the edges must be acyclic, and a consumer's
+ * load element type must match the producer's output element type.
+ * Throws UserError on violations. The topo order is deterministic
+ * (Kahn's algorithm, ties broken by declaration index).
+ */
+PipelineDag from_benchmark(const Benchmark &bench);
+
+} // namespace rake::pipeline
+
+#endif // RAKE_PIPELINE_DAG_H

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <set>
 
 #include "hir/analysis.h"
@@ -170,6 +171,119 @@ run_tiles_reference(const hir::ExprPtr &expr,
                         interp.reset(env);
                         return interp.eval(expr);
                     });
+}
+
+Image
+run_dag_with(const PipelineDag &dag, const std::vector<StageCode> &stages,
+             const std::map<int, Image> &inputs,
+             const std::map<std::string, int64_t> &scalars)
+{
+    RAKE_USER_CHECK(!dag.stages.empty(), "empty pipeline DAG");
+    RAKE_USER_CHECK(stages.size() == dag.stages.size(),
+                    "pipeline '" << dag.name << "' has "
+                                 << dag.stages.size() << " stages but "
+                                 << stages.size()
+                                 << " stage programs were supplied");
+
+    std::vector<Image> produced(dag.stages.size());
+    std::vector<bool> have(dag.stages.size(), false);
+    for (int idx : dag.topo) {
+        const DagStage &stage = dag.stages[idx];
+        const StageCode &code = stages[idx];
+        RAKE_USER_CHECK(code.eval != nullptr,
+                        "stage '" << stage.name << "' has no evaluator");
+
+        std::map<int, Image> stage_inputs;
+        for (const StageInput &in : stage.inputs) {
+            if (in.producer >= 0) {
+                RAKE_CHECK(have[in.producer],
+                           "stage executed before its producer");
+                const Image &img = produced[in.producer];
+                auto eit = code.load_elems.find(in.slot);
+                if (eit != code.load_elems.end())
+                    RAKE_USER_CHECK(
+                        img.elem == eit->second,
+                        "stage '" << stage.name << "' loads "
+                                  << to_string(eit->second)
+                                  << " from stage '"
+                                  << dag.stages[in.producer].name
+                                  << "' but it produced "
+                                  << to_string(img.elem));
+                stage_inputs.emplace(in.slot, img);
+            } else {
+                auto iit = inputs.find(in.external);
+                RAKE_USER_CHECK(iit != inputs.end(),
+                                "pipeline input " << in.external
+                                                  << " (stage '"
+                                                  << stage.name
+                                                  << "') was not "
+                                                     "supplied");
+                stage_inputs.emplace(in.slot, iit->second);
+            }
+        }
+        // validate_inputs inside run_impl enforces that this stage's
+        // intermediate and external images all share one size, so a
+        // dims mismatch at a boundary fails here, per stage.
+        produced[idx] = run_impl(code.out_type, code.load_elems,
+                                 stage_inputs, scalars, code.eval);
+        have[idx] = true;
+    }
+    return produced.back();
+}
+
+Image
+run_dag(const PipelineDag &dag,
+        const std::vector<hvx::InstrPtr> &programs,
+        const std::map<int, Image> &inputs,
+        const std::map<std::string, int64_t> &scalars)
+{
+    RAKE_USER_CHECK(programs.size() == dag.stages.size(),
+                    "pipeline '" << dag.name << "' has "
+                                 << dag.stages.size() << " stages but "
+                                 << programs.size()
+                                 << " programs were supplied");
+    // One interpreter context per stage, alive for the whole run.
+    std::vector<std::unique_ptr<hvx::Interpreter>> interps;
+    std::vector<StageCode> codes;
+    for (size_t i = 0; i < programs.size(); ++i) {
+        RAKE_USER_CHECK(programs[i] != nullptr,
+                        "null program for stage '"
+                            << dag.stages[i].name << "'");
+        StageCode code;
+        code.out_type = programs[i]->type();
+        std::set<const hvx::Instr *> visited;
+        collect_load_elems(programs[i], code.load_elems, visited);
+        interps.push_back(std::make_unique<hvx::Interpreter>());
+        hvx::Interpreter *interp = interps.back().get();
+        code.eval = [interp, prog = programs[i]](const Env &env) {
+            interp->reset(env);
+            return interp->eval(prog);
+        };
+        codes.push_back(std::move(code));
+    }
+    return run_dag_with(dag, codes, inputs, scalars);
+}
+
+Image
+run_dag_reference(const PipelineDag &dag,
+                  const std::map<int, Image> &inputs,
+                  const std::map<std::string, int64_t> &scalars)
+{
+    std::vector<std::unique_ptr<hir::Interpreter>> interps;
+    std::vector<StageCode> codes;
+    for (const DagStage &stage : dag.stages) {
+        StageCode code;
+        code.out_type = stage.expr->type();
+        collect_load_elems(stage.expr, code.load_elems);
+        interps.push_back(std::make_unique<hir::Interpreter>());
+        hir::Interpreter *interp = interps.back().get();
+        code.eval = [interp, expr = stage.expr](const Env &env) {
+            interp->reset(env);
+            return interp->eval(expr);
+        };
+        codes.push_back(std::move(code));
+    }
+    return run_dag_with(dag, codes, inputs, scalars);
 }
 
 int64_t

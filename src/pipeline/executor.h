@@ -13,12 +13,15 @@
 #define RAKE_PIPELINE_EXECUTOR_H
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "base/value.h"
 #include "hir/expr.h"
 #include "hvx/instr.h"
+#include "pipeline/dag.h"
 
 namespace rake::pipeline {
 
@@ -70,6 +73,46 @@ Image run_tiles_reference(const hir::ExprPtr &expr,
                           const std::map<int, Image> &inputs,
                           const std::map<std::string, int64_t> &scalars
                           = {});
+
+/**
+ * Executable code for one DAG stage, backend-agnostic: the staged
+ * executor only needs the stage's output type, which element type it
+ * loads from each slot, and a per-tile evaluator. Both interpreters
+ * (and the NEON backend's type-erased evaluator) fit this shape.
+ */
+struct StageCode {
+    VecType out_type;
+    std::map<int, ScalarType> load_elems; ///< slot -> element type read
+    std::function<Value(const Env &)> eval;
+};
+
+/**
+ * Execute a staged program over an image set, materializing each
+ * intermediate buffer. Stages run in the DAG's topological order;
+ * each stage's slots are bound per its StageInput table (externals
+ * from `inputs`, intermediates from the producing stage's output),
+ * and every stage boundary is validated — the produced image's
+ * element type must match what the consumer loads, and all of a
+ * stage's inputs must share one size — throwing UserError otherwise.
+ * Returns the last declared stage's image (the pipeline output, by
+ * the same convention as the flat path's final expression).
+ */
+Image run_dag_with(const PipelineDag &dag,
+                   const std::vector<StageCode> &stages,
+                   const std::map<int, Image> &inputs,
+                   const std::map<std::string, int64_t> &scalars = {});
+
+/** Staged execution of per-stage HVX programs (slot space). */
+Image run_dag(const PipelineDag &dag,
+              const std::vector<hvx::InstrPtr> &programs,
+              const std::map<int, Image> &inputs,
+              const std::map<std::string, int64_t> &scalars = {});
+
+/** Staged execution composing the stages' HIR reference interpreters. */
+Image run_dag_reference(const PipelineDag &dag,
+                        const std::map<int, Image> &inputs,
+                        const std::map<std::string, int64_t> &scalars
+                        = {});
 
 /** Count of pixels where the two images differ. */
 int64_t count_mismatches(const Image &a, const Image &b);

@@ -159,6 +159,8 @@ parse_bench_args(int argc, char **argv)
                             a << " needs a path");
         } else if (a == "--profile") {
             args.profile = true;
+        } else if (a == "--dag") {
+            args.dag = true;
         } else if (a == "--no-dedup") {
             args.no_dedup = true;
         } else if (a == "--greedy") {

@@ -40,7 +40,7 @@ std::string speedup_bar(const BenchmarkResult &r, double max_speedup);
 
 /**
  * Command-line options shared by the bench drivers:
- * `[--target hvx|neon] [--jobs N] [--json PATH] [--profile]
+ * `[--target hvx|neon] [--jobs N] [--json PATH] [--profile] [--dag]
  * [--no-dedup] [--greedy] [--timeout-ms N] [--run-timeout-ms N]
  * [benchmark-name]`. jobs = 0 defers to the RAKE_JOBS environment
  * variable (see CompileOptions::jobs); the timeout knobs defer to
@@ -54,6 +54,7 @@ struct BenchArgs {
     std::string json;  ///< --json PATH: machine-readable results
     std::string target = "hvx"; ///< --target hvx|neon: backend to run
     bool profile = false;  ///< --profile: synthesis breakdown
+    bool dag = false;      ///< --dag: run the fused multi-stage suite
     bool no_dedup = false; ///< --no-dedup: fast-path ablation switch
     bool greedy = false;   ///< --greedy: Neon greedy-mapper ablation
     int timeout_ms = 0;    ///< --timeout-ms N: per-query budget

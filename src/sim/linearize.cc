@@ -89,4 +89,48 @@ linearize(const hvx::InstrPtr &root)
     return lin.take();
 }
 
+namespace {
+
+hvx::InstrPtr
+remap_reads(const hvx::InstrPtr &n, const std::map<int, int> &remap,
+            std::unordered_map<const hvx::Instr *, hvx::InstrPtr> *memo)
+{
+    auto it = memo->find(n.get());
+    if (it != memo->end())
+        return it->second;
+    hvx::InstrPtr out = n;
+    if (n->op() == hvx::Opcode::VRead) {
+        auto rit = remap.find(n->load_ref().buffer);
+        if (rit != remap.end() && rit->second != n->load_ref().buffer) {
+            hir::LoadRef ref = n->load_ref();
+            ref.buffer = rit->second;
+            out = hvx::Instr::make_read(ref, n->type());
+        }
+    } else if (n->num_args() > 0) {
+        std::vector<hvx::InstrPtr> args;
+        args.reserve(n->args().size());
+        bool changed = false;
+        for (const auto &a : n->args()) {
+            args.push_back(remap_reads(a, remap, memo));
+            changed |= args.back() != a;
+        }
+        if (changed)
+            out = hvx::Instr::make(n->op(), std::move(args), n->imms(),
+                                   n->type().elem);
+    }
+    memo->emplace(n.get(), out);
+    return out;
+}
+
+} // namespace
+
+hvx::InstrPtr
+remap_read_buffers(const hvx::InstrPtr &root,
+                   const std::map<int, int> &remap)
+{
+    RAKE_CHECK(root != nullptr, "remap_read_buffers of null DAG");
+    std::unordered_map<const hvx::Instr *, hvx::InstrPtr> memo;
+    return remap_reads(root, remap, &memo);
+}
+
 } // namespace rake::sim

@@ -10,6 +10,7 @@
 #ifndef RAKE_SIM_LINEARIZE_H
 #define RAKE_SIM_LINEARIZE_H
 
+#include <map>
 #include <vector>
 
 #include "hvx/instr.h"
@@ -21,6 +22,16 @@ namespace rake::sim {
  * `root`. Structurally equal nodes are merged.
  */
 std::vector<hvx::InstrPtr> linearize(const hvx::InstrPtr &root);
+
+/**
+ * Rewrite every VRead's buffer id through `remap` (ids absent from
+ * the map are kept). Used by the pipeline layer to move a stage's
+ * slot-space program into the whole-DAG buffer space before the
+ * concatenated multi-stage schedule. Unchanged subtrees are returned
+ * by pointer.
+ */
+hvx::InstrPtr remap_read_buffers(const hvx::InstrPtr &root,
+                                 const std::map<int, int> &remap);
 
 } // namespace rake::sim
 

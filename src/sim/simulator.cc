@@ -128,6 +128,135 @@ schedule(const hvx::InstrPtr &root, const hvx::Target &target,
     return stats;
 }
 
+ScheduleStats
+schedule_dag(const std::vector<DagScheduleInput> &stages,
+             const hvx::Target &target, const MachineModel &machine)
+{
+    RAKE_CHECK(!stages.empty(), "schedule_dag of empty pipeline");
+
+    ScheduleStats stats;
+    stats.stage_length.assign(stages.size(), 0);
+
+    struct PacketState {
+        int free_slots;
+        std::array<int, hvx::kNumCostedResources> free_units;
+    };
+    std::vector<PacketState> packets;
+    auto packet_at = [&](size_t p) -> PacketState & {
+        while (packets.size() <= p) {
+            PacketState ps;
+            ps.free_slots = machine.slots;
+            ps.free_units = machine.units;
+            packets.push_back(ps);
+        }
+        return packets[p];
+    };
+
+    std::unordered_map<const hvx::Instr *, int> ready;
+    std::array<int, hvx::kNumCostedResources> demand = {};
+    // Packet in which each stage's stored result becomes readable.
+    std::vector<int> store_ready(stages.size(), 0);
+    // Shared across stages: the fused loop keeps rows in registers
+    // across stage boundaries, same reuse model as schedule().
+    std::set<std::pair<int, int>> loaded_rows;
+    int total_store_issues = 0;
+
+    for (size_t si = 0; si < stages.size(); ++si) {
+        const DagScheduleInput &stage = stages[si];
+        RAKE_CHECK(stage.root != nullptr, "schedule_dag null stage root");
+        for (const auto &[buf, producer] : stage.producers)
+            RAKE_CHECK(producer >= 0 && producer < static_cast<int>(si),
+                       "schedule_dag stages not in topological order");
+
+        const std::vector<hvx::InstrPtr> order = linearize(stage.root);
+        int stage_first = -1;
+        int stage_last = 0;
+
+        for (const hvx::InstrPtr &n : order) {
+            const hvx::OpcodeInfo &oi = hvx::info(n->op());
+            int issues = hvx::issue_count(*n, target);
+            int earliest = 0;
+            if (n->op() == hvx::Opcode::VRead) {
+                const auto row = std::make_pair(n->load_ref().buffer,
+                                                n->load_ref().dy);
+                if (!loaded_rows.insert(row).second)
+                    issues = 0; // same-row re-read: register reuse
+                // Stage-boundary dependency: an intermediate row is
+                // not loadable until the producer's stores drain.
+                auto pit = stage.producers.find(n->load_ref().buffer);
+                if (pit != stage.producers.end())
+                    earliest = store_ready[pit->second];
+            }
+            for (const auto &a : n->args()) {
+                auto it = ready.find(a.get());
+                if (it != ready.end())
+                    earliest = std::max(earliest, it->second);
+            }
+
+            if (issues == 0) {
+                ready[n.get()] = earliest;
+                stats.packet_of.push_back(earliest);
+                continue;
+            }
+
+            const int res = static_cast<int>(oi.resource);
+            demand[res] += issues;
+            stats.instructions += issues;
+
+            int p = earliest;
+            int last_issue_packet = earliest;
+            for (int k = 0; k < issues; ++k) {
+                while (true) {
+                    PacketState &ps = packet_at(p);
+                    if (ps.free_slots >= 1 && ps.free_units[res] >= 1)
+                        break;
+                    ++p;
+                }
+                PacketState &ps = packet_at(p);
+                ps.free_slots -= 1;
+                ps.free_units[res] -= 1;
+                last_issue_packet = p;
+            }
+            stats.packet_of.push_back(last_issue_packet);
+            ready[n.get()] = last_issue_packet + oi.latency;
+            if (stage_first < 0 || last_issue_packet < stage_first)
+                stage_first = last_issue_packet;
+            stage_last = std::max(stage_last,
+                                  last_issue_packet + oi.latency);
+        }
+
+        // Stage result store(s): dedicated store slot as in schedule().
+        const int store_issues = target.regs_for(stage.root->type());
+        int p = std::max(0, stage_last);
+        for (int k = 0; k < store_issues; ++k) {
+            while (packet_at(p).free_slots < 1)
+                ++p;
+            packet_at(p).free_slots -= 1;
+            stage_last = std::max(stage_last, p);
+        }
+        stats.instructions += store_issues;
+        total_store_issues += store_issues;
+        store_ready[si] = stage_last + 1;
+        if (stage_first < 0)
+            stage_first = stage_last;
+        stats.stage_length[si] = stage_last - stage_first + 1;
+    }
+
+    int last_packet = 0;
+    for (size_t si = 0; si < stages.size(); ++si)
+        last_packet = std::max(last_packet, store_ready[si] - 1);
+    stats.schedule_length = last_packet + 1;
+
+    int ii = (stats.instructions + machine.slots - 1) / machine.slots;
+    ii = std::max(ii, total_store_issues);
+    for (int r = 0; r < hvx::kNumCostedResources; ++r) {
+        const int u = machine.units[r];
+        ii = std::max(ii, (demand[r] + u - 1) / u);
+    }
+    stats.initiation_interval = std::max(ii, 1);
+    return stats;
+}
+
 std::string
 to_string(const ScheduleStats &stats,
           const std::vector<hvx::InstrPtr> &order)

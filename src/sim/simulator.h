@@ -15,6 +15,7 @@
 #define RAKE_SIM_SIMULATOR_H
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,13 @@ struct ScheduleStats {
     int initiation_interval = 0;  ///< steady-state packets/iteration
     int instructions = 0;         ///< issued instructions (incl. pairs)
     std::vector<int> packet_of;   ///< packet index per linear instr
+
+    /**
+     * Packet span per stage when produced by schedule_dag() (empty
+     * for the single-stage schedule()): how many packets each stage's
+     * instructions + stores occupy in the concatenated body.
+     */
+    std::vector<int> stage_length;
 
     /** Total cycles for `iterations` software-pipelined iterations. */
     int64_t
@@ -47,6 +55,33 @@ struct ScheduleStats {
 ScheduleStats schedule(const hvx::InstrPtr &root,
                        const hvx::Target &target,
                        const MachineModel &machine);
+
+/**
+ * One stage of a concatenated multi-stage loop body. Roots must be in
+ * topological (producers-first) order; `producers` maps a buffer id
+ * read by this stage to the index (within the schedule_dag vector) of
+ * the stage that stores it — those reads cannot issue until the
+ * producer's stores have drained.
+ */
+struct DagScheduleInput {
+    hvx::InstrPtr root;
+    int64_t iterations = 0;
+    std::map<int, int> producers;
+};
+
+/**
+ * Schedule the whole pipeline DAG as one fused loop body: stages are
+ * linearized in the given order into a shared packet timeline,
+ * stage-boundary reads wait for the producer stage's stores, each
+ * stage stores its own result, and row-register reuse spans stages
+ * (a fused loop keeps rows live across stage boundaries). packet_of
+ * covers the concatenation of the per-stage linearizations;
+ * stage_length records each stage's packet span. Callers pass the
+ * fused trip count (max stage iterations) to cycles().
+ */
+ScheduleStats schedule_dag(const std::vector<DagScheduleInput> &stages,
+                           const hvx::Target &target,
+                           const MachineModel &machine);
 
 /** Render a packet-by-packet view of the schedule (for reports). */
 std::string to_string(const ScheduleStats &stats,

@@ -101,6 +101,9 @@ SynthProfile::merge(const SynthProfile &o)
         rule_table_size = o.rule_table_size;
     timeouts += o.timeouts;
     degraded += o.degraded;
+    stages += o.stages;
+    boundary_swizzles += o.boundary_swizzles;
+    hashcons_hits += o.hashcons_hits;
 }
 
 double
@@ -200,6 +203,12 @@ SynthProfile::to_string() const
     if (timeouts > 0 || degraded > 0)
         os << "  deadlines: " << timeouts << " timed out, " << degraded
            << " degraded to greedy selection\n";
+    // Emitted only when a multi-stage DAG was compiled, so the flat
+    // 21-benchmark suite's profile output stays bit-identical.
+    if (stages > 0)
+        os << "  pipeline: " << stages << " stages, "
+           << boundary_swizzles << " boundary swizzles, "
+           << hashcons_hits << " hash-cons hits\n";
     return os.str();
 }
 

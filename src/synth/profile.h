@@ -42,6 +42,15 @@ struct SynthProfile {
     int timeouts = 0;   ///< runs aborted by the wall-clock deadline
     int degraded = 0;   ///< runs that fell back to the greedy selector
 
+    // Whole-pipeline selection counters, folded in by the pipeline
+    // compiler (not by add(): they are DAG-level, not per-synthesis).
+    // All zero for single-expression runs, and rendered only when a
+    // DAG was in play, so flat output stays bit-identical.
+    int stages = 0;            ///< DAG stages compiled
+    int boundary_swizzles = 0; ///< boundary permutes left after
+                               ///< layout negotiation
+    int64_t hashcons_hits = 0; ///< shared HIR subtrees deduplicated
+
     /** Fold one synthesis result into the profile. */
     void add(const RakeResult &r);
 

@@ -15,10 +15,13 @@
 
 #include <map>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "hvx/cost.h"
+#include "sim/machine.h"
 #include "support/deadline.h"
 #include "synth/symbolic_vector.h"
 
@@ -106,6 +109,61 @@ class SwizzleSolver
     std::map<std::tuple<int, int, int, int, ScalarType>, hvx::InstrPtr>
         reads_;
 };
+
+/**
+ * Cross-stage layout negotiation (DESIGN.md "Whole-pipeline
+ * selection"): the layout in which a producer stage stores its
+ * intermediate buffer. Natural stores the semantic value;
+ * Interleaved/Deinterleaved store it pre-permuted by vshuffvdd /
+ * vdealvdd, with every consumer's reads compensated so the pipeline's
+ * final output is unchanged. Picking a non-natural layout pays one
+ * permute at the producer but can cancel a permute in every consumer
+ * (or vice versa) — the §7.3 cross-stage re-layout Rake alone cannot
+ * see.
+ */
+enum class EdgeLayout : uint8_t {
+    Natural,
+    Interleaved,
+    Deinterleaved,
+};
+
+std::string to_string(EdgeLayout layout);
+
+/** One stage's selected program, in whole-DAG topological order. */
+struct StageProgram {
+    hvx::InstrPtr instr;
+    int64_t iterations = 0;
+    /** Buffer id read by this stage -> producing stage index. */
+    std::map<int, int> producers;
+};
+
+/** Outcome of negotiate_layouts(). */
+struct NegotiationResult {
+    /** Transformed programs, same order as the input stages. */
+    std::vector<hvx::InstrPtr> programs;
+    /** Chosen layout per stage (Natural for non-producers). */
+    std::vector<EdgeLayout> layouts;
+    /** Permutes adjacent to stage boundaries in the final programs. */
+    int boundary_swizzles = 0;
+    /** Boundary permutes removed relative to all-Natural. */
+    int boundary_swizzles_saved = 0;
+};
+
+/**
+ * Choose one layout per producer edge minimizing total scheduled
+ * cycles (the measured replacement for the old modeled boundary
+ * penalty). Producers are visited in topological order and each edge's
+ * three layouts are enumerated — fan-outs are tiny — keeping a
+ * non-natural layout only on strict cycle improvement, so ties stay
+ * Natural and the result is deterministic. A layout is only feasible
+ * when every consumer read of the edge's buffer is whole-row (dx == 0)
+ * and the row has an even lane count; infeasible edges stay Natural.
+ * The returned boundary permutes are real instructions in the
+ * returned programs, scheduled and simulated like any other.
+ */
+NegotiationResult negotiate_layouts(const std::vector<StageProgram> &stages,
+                                    const hvx::Target &target,
+                                    const sim::MachineModel &machine);
 
 } // namespace rake::synth
 

@@ -101,6 +101,66 @@ TEST(FuzzGenerator, RespectsLaneKnob)
         EXPECT_EQ(gen.generate(program_seed(5, i))->type().lanes, 32);
 }
 
+TEST(FuzzGenerator, StagedProgramsAreDeterministicAndLinked)
+{
+    GenOptions opts;
+    opts.stages = 3;
+    const Generator gen(opts);
+    for (int i = 0; i < 32; ++i) {
+        const uint64_t seed = program_seed(13, i);
+        const auto a = gen.generate_stages(seed);
+        const auto b = gen.generate_stages(seed);
+        ASSERT_EQ(a.size(), 3u);
+        ASSERT_EQ(b.size(), 3u);
+        for (size_t k = 0; k < a.size(); ++k)
+            EXPECT_TRUE(hir::equal(a[k], b[k]));
+        // Every stage is executable: stage 0 loads a real input, and
+        // each later stage reads its predecessor's reserved buffer.
+        EXPECT_FALSE(hir::collect_loads(a[0]).empty());
+        for (size_t k = 1; k < a.size(); ++k) {
+            bool linked = false;
+            for (const hir::LoadRef &lr : hir::collect_loads(a[k]))
+                linked = linked ||
+                         lr.buffer == 8 + static_cast<int>(k) - 1;
+            EXPECT_TRUE(linked) << "stage " << k << " of seed " << seed;
+        }
+    }
+}
+
+TEST(FuzzGenerator, SingleStageModeMatchesClassicStream)
+{
+    // --stages 1 must be byte-identical to the classic generator so
+    // existing seeds and corpus entries keep reproducing.
+    GenOptions opts;
+    opts.stages = 1;
+    const Generator gen(opts);
+    for (int i = 0; i < 16; ++i) {
+        const uint64_t seed = program_seed(21, i);
+        const auto staged = gen.generate_stages(seed);
+        ASSERT_EQ(staged.size(), 1u);
+        EXPECT_EQ(hir::to_sexpr(staged[0]),
+                  hir::to_sexpr(gen.generate(seed)));
+    }
+}
+
+TEST(FuzzOracles, CleanStagedPipelinePassesTheDagOracle)
+{
+    GenOptions gen_opts;
+    gen_opts.stages = 3;
+    const Generator gen(gen_opts);
+    OracleOptions oracles;
+    for (int i = 0; i < 25; ++i) {
+        const auto stages =
+            gen.generate_stages(program_seed(19, i));
+        const CheckResult res = check_stages(stages, oracles);
+        EXPECT_TRUE(res.ok())
+            << hir::to_sexpr(stages.back()) << "\noracle "
+            << res.divergence->oracle << ": "
+            << res.divergence->detail;
+        EXPECT_TRUE(res.hvx_selected);
+    }
+}
+
 TEST(FuzzOracles, CleanPipelinePassesAllOracles)
 {
     GenOptions gen_opts;

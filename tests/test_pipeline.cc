@@ -91,14 +91,25 @@ INSTANTIATE_TEST_SUITE_P(Subset, BenchmarkCompiles,
                                            "mul", "average_pool",
                                            "max_pool"));
 
-TEST(Pipeline, DepthwiseConvReproducesTheRegression)
+TEST(Pipeline, DepthwiseConvNegotiatesItsBoundaryAway)
 {
+    // Under the old modeled boundary-penalty fee this benchmark was the
+    // paper's one regression (0.93x; ours modeled 0.89x): Rake's
+    // interleaved row kernel was charged a flat per-iteration fee at
+    // the stage boundary. Measured as a real two-stage DAG, layout
+    // negotiation stores the row stage deinterleaved instead, deleting
+    // all four boundary permutes — and with them the regression.
     CompileOptions opts;
     BenchmarkResult r =
         compile_benchmark(benchmark("depthwise_conv"), opts);
-    // The paper's only regression: 0.93x (ours lands close).
-    EXPECT_LT(r.speedup, 1.0);
-    EXPECT_GT(r.speedup, 0.80);
+    EXPECT_EQ(r.stages, 2);
+    EXPECT_EQ(r.boundary_swizzles, 0);
+    EXPECT_GE(r.boundary_swizzles_saved, 4);
+    EXPECT_GE(r.speedup, 0.99);
+    EXPECT_GT(r.dag_cycles, 0);
+    // The fused whole-DAG schedule overlaps the stages, so it beats
+    // running them back to back.
+    EXPECT_LT(r.dag_cycles, r.rake_cycles);
 }
 
 TEST(Pipeline, GaussianBeatsSobelBeatsTies)

@@ -276,5 +276,52 @@ TEST(Machine, DefaultsAreSane)
     EXPECT_GE(m.units_for(Resource::Alu), 1);
 }
 
+TEST(ScheduleDag, SingleStageMatchesTheLegacySchedule)
+{
+    InstrPtr body = Instr::make(Opcode::VAdd, {read8(), read8(1)});
+    hvx::Target target;
+    MachineModel machine;
+    const ScheduleStats flat = schedule(body, target, machine);
+    const ScheduleStats dag =
+        schedule_dag({{body, 128, {}}}, target, machine);
+    EXPECT_EQ(dag.schedule_length, flat.schedule_length);
+    EXPECT_EQ(dag.initiation_interval, flat.initiation_interval);
+    ASSERT_EQ(dag.stage_length.size(), 1u);
+    EXPECT_EQ(dag.stage_length[0], dag.schedule_length);
+}
+
+TEST(ScheduleDag, ConsumerReadsWaitForProducerStores)
+{
+    // Stage 1 reads buffer 9, which stage 0 stores: its read cannot
+    // issue before stage 0's stores drain, so the concatenated body
+    // is strictly longer than either stage alone but (thanks to
+    // overlap of independent work) no longer than their sum plus the
+    // boundary stall.
+    InstrPtr produce =
+        Instr::make(Opcode::VAdd, {read8(), read8(1)});
+    InstrPtr consume = Instr::make(
+        Opcode::VAdd,
+        {Instr::make_read(hir::LoadRef{9, 0, 0}, VecType(u8, L)),
+         read8(2)});
+    hvx::Target target;
+    MachineModel machine;
+    const ScheduleStats s0 = schedule(produce, target, machine);
+    const ScheduleStats s1 = schedule(consume, target, machine);
+    const ScheduleStats dag = schedule_dag(
+        {{produce, 128, {}}, {consume, 128, {{9, 0}}}}, target,
+        machine);
+    ASSERT_EQ(dag.stage_length.size(), 2u);
+    EXPECT_GT(dag.schedule_length, s0.schedule_length);
+    EXPECT_GT(dag.schedule_length, s1.schedule_length);
+    EXPECT_LE(dag.schedule_length,
+              s0.schedule_length + s1.schedule_length + 1);
+    // Fusing the loop beats running the two stages back to back.
+    const int64_t iters = 4096;
+    EXPECT_LT(dag.cycles(iters), s0.cycles(iters) + s1.cycles(iters));
+    // Both stages' stores share the loop, so the II covers both.
+    EXPECT_GE(dag.initiation_interval, s0.initiation_interval);
+    EXPECT_GE(dag.initiation_interval, s1.initiation_interval);
+}
+
 } // namespace
 } // namespace rake

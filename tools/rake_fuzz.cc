@@ -3,10 +3,10 @@
  * Generative differential fuzzer CLI.
  *
  *   rake_fuzz [--seed N] [--count N] [--target hvx|neon|both]
- *             [--jobs N] [--depth N] [--lanes N] [--envs N]
- *             [--timeout-ms N] [--no-minimize] [--corpus-dir PATH]
- *             [--rules PATH] [--inject-sub-bug] [--inject-spin]
- *             [--replay FILE|DIR] [--quiet]
+ *             [--jobs N] [--depth N] [--lanes N] [--stages N]
+ *             [--envs N] [--timeout-ms N] [--no-minimize]
+ *             [--corpus-dir PATH] [--rules PATH] [--inject-sub-bug]
+ *             [--inject-spin] [--replay FILE|DIR] [--quiet]
  *
  * Default mode generates `count` random HIR programs from `seed` and
  * drives each through the oracle lattice (s-expression round-trip,
@@ -14,6 +14,14 @@
  * reference interpreter, cross-backend agreement). Divergences are
  * shrunk by the delta-debugging minimizer and, with --corpus-dir,
  * persisted as reproducer files.
+ *
+ * --stages N > 1 generates N-stage pipeline programs (stage i reads
+ * stage i-1 through a reserved intermediate buffer) and swaps the
+ * lattice for the staged-executor oracle: the DAG executor over the
+ * baseline-selected per-stage programs must equal composing the
+ * stages' HIR interpreters. Multi-stage findings are reported by
+ * seed, not minimized or persisted. The default (1) is byte-identical
+ * to the classic single-expression stream.
  *
  * --replay runs the oracles over an existing reproducer file (or a
  * whole corpus directory) instead of generating programs.
@@ -59,7 +67,7 @@ usage(const std::string &msg)
         std::cerr << "rake_fuzz: " << msg << "\n";
     std::cerr << "usage: rake_fuzz [--seed N] [--count N] "
                  "[--target hvx|neon|both] [--jobs N] [--depth N] "
-                 "[--lanes N] [--envs N] [--timeout-ms N] "
+                 "[--lanes N] [--stages N] [--envs N] [--timeout-ms N] "
                  "[--no-minimize] [--corpus-dir PATH] "
                  "[--rules PATH] [--inject-sub-bug] [--inject-spin] "
                  "[--replay FILE|DIR] [--quiet]\n";
@@ -95,6 +103,10 @@ parse_args(int argc, char **argv)
             args.fuzz.gen.max_depth = static_cast<int>(int_value(i, a));
         } else if (a == "--lanes") {
             args.fuzz.gen.lanes = static_cast<int>(int_value(i, a));
+        } else if (a == "--stages") {
+            args.fuzz.gen.stages = static_cast<int>(int_value(i, a));
+            if (args.fuzz.gen.stages < 1)
+                usage("--stages must be >= 1");
         } else if (a == "--envs") {
             args.fuzz.oracles.envs = static_cast<int>(int_value(i, a));
         } else if (a == "--timeout-ms") {
