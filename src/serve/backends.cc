@@ -1,0 +1,21 @@
+#include "serve/backends.h"
+
+#include "backend/hvx_backend.h"
+#include "backend/neon_backend.h"
+
+namespace rake::serve {
+
+std::map<std::string, synth::BackendFactory>
+default_backend_registry()
+{
+    std::map<std::string, synth::BackendFactory> backends;
+    backends["hvx"] = [] {
+        return backend::make_hvx_backend(hvx::Target{});
+    };
+    backends["neon"] = [] {
+        return backend::make_neon_backend(neon::Target{});
+    };
+    return backends;
+}
+
+} // namespace rake::serve

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * The serving layer's default backend registry: every TargetISA this
+ * build can serve, keyed by the name clients put in a request's
+ * `backend` line. Lives in serve/ (not synth/) because the registry
+ * is the one place that must link every backend library; the
+ * SelectService itself stays backend-agnostic behind the factory map.
+ */
+#ifndef RAKE_SERVE_BACKENDS_H
+#define RAKE_SERVE_BACKENDS_H
+
+#include <map>
+#include <string>
+
+#include "synth/service.h"
+
+namespace rake::serve {
+
+/** "hvx" and "neon", each creating a fresh per-query TargetISA. */
+std::map<std::string, synth::BackendFactory> default_backend_registry();
+
+} // namespace rake::serve
+
+#endif // RAKE_SERVE_BACKENDS_H

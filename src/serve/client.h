@@ -1,0 +1,83 @@
+/**
+ * @file
+ * RemoteSelect: the thin client for the compile server.
+ *
+ * One RemoteSelect is one connection. select_batch() ships a whole
+ * batch of queries in a single write, then collects responses by id
+ * (the server answers out of order) and returns them in request
+ * order. Degradation mirrors the in-process deadline contract:
+ * `timed_out` and `overloaded` responses arrive without a selection,
+ * and when `degrade_locally` is set the client fills in the greedy
+ * fallback itself — a shed or expired query yields the same kind of
+ * answer an in-process caller gets from a blown deadline, never a
+ * hard failure and never a cached negative.
+ *
+ * Protocol errors (malformed frames or payloads from the server, a
+ * connection that dies mid-batch) throw UserError: they mean the
+ * transport is broken, not that a query failed.
+ */
+#ifndef RAKE_SERVE_CLIENT_H
+#define RAKE_SERVE_CLIENT_H
+
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "support/socket.h"
+
+namespace rake::serve {
+
+struct ClientOptions {
+    /** Socket path; resolve_socket_path() handles RAKE_SOCKET. */
+    std::string socket_path;
+
+    /** Applied to every select in a batch that doesn't set its own. */
+    int timeout_ms = 0;
+
+    /** Compute the greedy fallback locally for timed_out/overloaded
+     *  responses that carry no instruction. */
+    bool degrade_locally = true;
+};
+
+class RemoteSelect
+{
+  public:
+    /** Connects immediately; throws UserError when it can't. */
+    explicit RemoteSelect(ClientOptions options);
+
+    RemoteSelect(const RemoteSelect &) = delete;
+    RemoteSelect &operator=(const RemoteSelect &) = delete;
+
+    /**
+     * One round trip for a single query. `backend`/`expr` as in the
+     * protocol; returns the server's response (possibly locally
+     * degraded per ClientOptions).
+     */
+    Response select(const std::string &backend, const std::string &expr);
+
+    /**
+     * Ship `requests` (ids are assigned by the client) and return the
+     * responses in request order. Throws UserError on any transport
+     * or protocol failure.
+     */
+    std::vector<Response>
+    select_batch(std::vector<Request> requests);
+
+    /** Fetch the server's metrics JSON. */
+    std::string metrics();
+
+    /** Liveness probe; false when the server misbehaves. */
+    bool ping();
+
+  private:
+    Response read_response();
+
+    ClientOptions options_;
+    UnixSocket sock_;
+    FrameReader frames_;
+    int64_t next_id_ = 1;
+};
+
+} // namespace rake::serve
+
+#endif // RAKE_SERVE_CLIENT_H

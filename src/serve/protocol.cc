@@ -1,0 +1,277 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "support/error.h"
+#include "support/socket.h"
+
+namespace rake::serve {
+
+namespace {
+
+constexpr const char *kReqMagic = "rake-req";
+constexpr const char *kRespMagic = "rake-resp";
+
+/**
+ * Line-oriented payload walker, same discipline as the persistent
+ * cache's EntryReader: required fields are consumed in order, any
+ * structural problem throws UserError (the caller maps it to a
+ * protocol_error), and the mandatory "end" trailer catches
+ * truncation.
+ */
+class PayloadReader
+{
+  public:
+    explicit PayloadReader(const std::string &text)
+    {
+        std::istringstream is(text);
+        std::string line;
+        while (std::getline(is, line))
+            lines_.push_back(line);
+    }
+
+    std::string
+    take(const std::string &key)
+    {
+        RAKE_USER_CHECK(next_ < lines_.size(),
+                        "truncated payload at field: " << key);
+        const std::string &line = lines_[next_++];
+        RAKE_USER_CHECK(line.size() > key.size() &&
+                            line.compare(0, key.size(), key) == 0 &&
+                            line[key.size()] == ' ',
+                        "expected '" << key << " ...', got: " << line);
+        return line.substr(key.size() + 1);
+    }
+
+    bool
+    peek_is(const std::string &key) const
+    {
+        return next_ < lines_.size() &&
+               lines_[next_].compare(0, key.size(), key) == 0 &&
+               (lines_[next_].size() == key.size() ||
+                lines_[next_][key.size()] == ' ');
+    }
+
+    void
+    take_bare(const std::string &key)
+    {
+        RAKE_USER_CHECK(next_ < lines_.size(),
+                        "truncated payload at field: " << key);
+        RAKE_USER_CHECK(lines_[next_] == key,
+                        "expected '" << key
+                                     << "', got: " << lines_[next_]);
+        ++next_;
+    }
+
+    void
+    done() const
+    {
+        RAKE_USER_CHECK(next_ == lines_.size(),
+                        "trailing data after payload");
+    }
+
+  private:
+    std::vector<std::string> lines_;
+    size_t next_ = 0;
+};
+
+int64_t
+parse_i64(const std::string &s)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    RAKE_USER_CHECK(errno != ERANGE && end != s.c_str() && *end == '\0',
+                    "bad integer in payload: " << s);
+    return v;
+}
+
+/** Values are one line each; refuse to encode anything that would
+ *  smuggle in extra protocol lines. */
+void
+check_line_safe(const std::string &s, const char *what)
+{
+    RAKE_USER_CHECK(s.find('\n') == std::string::npos,
+                    what << " must be single-line");
+}
+
+bool
+known_status(const std::string &s)
+{
+    return s == "ok" || s == "no_solution" || s == "timed_out" ||
+           s == "overloaded" || s == "error" || s == "protocol_error";
+}
+
+} // namespace
+
+const char *
+to_string(Op op)
+{
+    switch (op) {
+      case Op::Select:
+        return "select";
+      case Op::Metrics:
+        return "metrics";
+      case Op::Ping:
+        return "ping";
+    }
+    return "ping";
+}
+
+std::string
+encode_request(const Request &request)
+{
+    std::ostringstream os;
+    os << kReqMagic << " " << kProtocolVersion << "\n"
+       << "id " << request.id << "\n"
+       << "op " << to_string(request.op) << "\n";
+    if (request.op == Op::Select) {
+        check_line_safe(request.backend, "backend");
+        check_line_safe(request.expr, "expr");
+        RAKE_USER_CHECK(!request.expr.empty(),
+                        "select request needs an expression");
+        os << "backend " << request.backend << "\n";
+        if (request.timeout_ms > 0)
+            os << "timeout-ms " << request.timeout_ms << "\n";
+        os << "expr " << request.expr << "\n";
+    }
+    os << "end\n";
+    return os.str();
+}
+
+Request
+parse_request(const std::string &payload)
+{
+    PayloadReader r(payload);
+    RAKE_USER_CHECK(parse_i64(r.take(kReqMagic)) == kProtocolVersion,
+                    "protocol version mismatch");
+    Request req;
+    req.id = parse_i64(r.take("id"));
+    const std::string op = r.take("op");
+    if (op == "select") {
+        req.op = Op::Select;
+        req.backend = r.take("backend");
+        RAKE_USER_CHECK(!req.backend.empty(), "empty backend name");
+        if (r.peek_is("timeout-ms")) {
+            const int64_t t = parse_i64(r.take("timeout-ms"));
+            RAKE_USER_CHECK(t > 0 && t <= (1ll << 31),
+                            "bad timeout-ms: " << t);
+            req.timeout_ms = static_cast<int>(t);
+        }
+        req.expr = r.take("expr");
+        RAKE_USER_CHECK(!req.expr.empty(), "empty expression");
+    } else if (op == "metrics") {
+        req.op = Op::Metrics;
+    } else if (op == "ping") {
+        req.op = Op::Ping;
+    } else {
+        RAKE_USER_CHECK(false, "unknown op: " << op);
+    }
+    r.take_bare("end");
+    r.done();
+    return req;
+}
+
+std::string
+encode_response(const Response &response)
+{
+    RAKE_USER_CHECK(known_status(response.status),
+                    "unknown response status: " << response.status);
+    std::ostringstream os;
+    os << kRespMagic << " " << kProtocolVersion << "\n"
+       << "id " << response.id << "\n"
+       << "status " << response.status << "\n";
+    if (response.degraded)
+        os << "degraded 1\n";
+    if (!response.tier.empty()) {
+        check_line_safe(response.tier, "tier");
+        os << "tier " << response.tier << "\n";
+    }
+    if (!response.instr.empty()) {
+        check_line_safe(response.instr, "instr");
+        os << "instr " << response.instr << "\n";
+    }
+    if (!response.error.empty()) {
+        // Error text can quote arbitrary exception messages; flatten
+        // any newlines instead of rejecting the response.
+        std::string flat = response.error;
+        for (char &c : flat)
+            if (c == '\n')
+                c = ' ';
+        os << "error " << flat << "\n";
+    }
+    if (!response.metrics_json.empty()) {
+        check_line_safe(response.metrics_json, "metrics");
+        os << "metrics " << response.metrics_json << "\n";
+    }
+    os << "end\n";
+    return os.str();
+}
+
+Response
+parse_response(const std::string &payload)
+{
+    PayloadReader r(payload);
+    RAKE_USER_CHECK(parse_i64(r.take(kRespMagic)) == kProtocolVersion,
+                    "protocol version mismatch");
+    Response resp;
+    resp.id = parse_i64(r.take("id"));
+    resp.status = r.take("status");
+    RAKE_USER_CHECK(known_status(resp.status),
+                    "unknown response status: " << resp.status);
+    if (r.peek_is("degraded")) {
+        const std::string d = r.take("degraded");
+        RAKE_USER_CHECK(d == "1", "bad degraded flag: " << d);
+        resp.degraded = true;
+    }
+    if (r.peek_is("tier"))
+        resp.tier = r.take("tier");
+    if (r.peek_is("instr"))
+        resp.instr = r.take("instr");
+    if (r.peek_is("error"))
+        resp.error = r.take("error");
+    if (r.peek_is("metrics"))
+        resp.metrics_json = r.take("metrics");
+    r.take_bare("end");
+    r.done();
+    return resp;
+}
+
+FrameDrill
+drill_frames(const std::string &bytes)
+{
+    FrameDrill drill;
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    for (;;) {
+        std::string payload, frame_error;
+        const FrameReader::Status st =
+            reader.next(&payload, &frame_error);
+        if (st == FrameReader::Status::NeedMore)
+            break;
+        if (st == FrameReader::Status::Error) {
+            drill.framing_error = true;
+            if (drill.error.empty())
+                drill.error = frame_error;
+            break;
+        }
+        ++drill.frames;
+        try {
+            parse_request(payload);
+            ++drill.requests;
+        } catch (const UserError &e) {
+            ++drill.protocol_errors;
+            if (drill.error.empty())
+                drill.error = e.what();
+        }
+    }
+    drill.mid_frame = reader.mid_frame();
+    if (drill.mid_frame && drill.error.empty())
+        drill.error = "stream ends mid-frame";
+    return drill;
+}
+
+} // namespace rake::serve

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The compile server's wire protocol (the text inside one frame).
+ *
+ * Transport is length-prefixed frames over a Unix-domain stream
+ * socket (support/socket.h); each frame's payload is a newline-framed
+ * text record, same line discipline as the persistent-cache entries:
+ *
+ *   request  := "rake-req 1\n" "id " INT "\n" "op " OP "\n"
+ *               [ "backend " NAME "\n" ]       (select only)
+ *               [ "timeout-ms " INT "\n" ]     (select only)
+ *               [ "expr " SEXPR "\n" ]         (select only)
+ *               "end\n"
+ *   op       := "select" | "metrics" | "ping"
+ *
+ *   response := "rake-resp 1\n" "id " INT "\n" "status " STATUS "\n"
+ *               [ "degraded 1\n" ] [ "tier " TIER "\n" ]
+ *               [ "instr " SEXPR "\n" ] [ "error " TEXT "\n" ]
+ *               [ "metrics " JSON "\n" ] "end\n"
+ *   status   := "ok" | "no_solution" | "timed_out" | "overloaded"
+ *             | "error" | "protocol_error"
+ *
+ * Responses are matched to requests by `id` and may arrive out of
+ * order — the server dispatches select work onto a thread pool.
+ * Parsers throw UserError on any malformed payload; the server maps
+ * that to a `protocol_error` response and drops the session (a
+ * mis-framed stream cannot be resynchronized), the client maps it to
+ * a hard error. Neither side ever crashes on hostile bytes — the
+ * framing fuzz corpus (tests/corpus/protocol/) holds the proof.
+ */
+#ifndef RAKE_SERVE_PROTOCOL_H
+#define RAKE_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+namespace rake::serve {
+
+/** Protocol version; either side rejects a mismatch. */
+inline constexpr int kProtocolVersion = 1;
+
+enum class Op {
+    Select,  ///< one (backend, expr, timeout) selection query
+    Metrics, ///< JSON counter snapshot
+    Ping,    ///< liveness probe
+};
+
+const char *to_string(Op op);
+
+struct Request {
+    Op op = Op::Ping;
+    int64_t id = 0;
+    std::string backend = "hvx"; ///< select only
+    std::string expr;            ///< select only (HIR sexpr)
+    int timeout_ms = 0;          ///< select only; 0 = no deadline
+};
+
+struct Response {
+    int64_t id = -1;
+    std::string status = "ok"; ///< see the grammar above
+    bool degraded = false;     ///< greedy fallback shipped
+    std::string tier;          ///< memory|disk|rule|cegis|none
+    std::string instr;         ///< selection sexpr (when found)
+    std::string error;         ///< error / protocol_error detail
+    std::string metrics_json;  ///< metrics response payload
+
+    /**
+     * Statuses a batch client treats as a degraded-but-answered
+     * query: the deadline taxonomy (`timed_out`) and admission
+     * shedding (`overloaded`) degrade identically — fall back to the
+     * greedy selector, never treat the expression as unsolvable.
+     */
+    bool
+    degraded_like_timeout() const
+    {
+        return status == "timed_out" || status == "overloaded";
+    }
+};
+
+/** Serialize one request payload (the text inside a frame). */
+std::string encode_request(const Request &request);
+
+/** Parse one request payload; throws UserError on malformed input. */
+Request parse_request(const std::string &payload);
+
+std::string encode_response(const Response &response);
+
+Response parse_response(const std::string &payload);
+
+/**
+ * Outcome of feeding raw wire bytes through the frame decoder and the
+ * request parser — the fuzz-replay drill behind the protocol corpus
+ * (tests/corpus/protocol/) and `rake_fuzz --replay-frames`. Hostile
+ * bytes must land in one of the structured-failure fields; the drill
+ * itself never throws and never crashes.
+ */
+struct FrameDrill {
+    int frames = 0;             ///< well-formed frames decoded
+    int requests = 0;           ///< frames that parsed as requests
+    int protocol_errors = 0;    ///< frames parse_request rejected
+    bool framing_error = false; ///< FrameReader poisoned the stream
+    bool mid_frame = false;     ///< bytes ended inside a frame
+    std::string error;          ///< first structured error message
+
+    /** A stream a server session would answer-and-drop or stall on. */
+    bool
+    hostile() const
+    {
+        return framing_error || protocol_errors > 0 || mid_frame;
+    }
+};
+
+FrameDrill drill_frames(const std::string &bytes);
+
+} // namespace rake::serve
+
+#endif // RAKE_SERVE_PROTOCOL_H

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The long-running compile server behind tools/rake_serve.
+ *
+ * One Server owns a SelectService (the serving facade over the
+ * synthesis stack) and a listener on a Unix-domain socket. Each
+ * accepted connection gets a session thread that decodes frames and
+ * parses requests; `select` work is dispatched onto a shared
+ * ThreadPool so one slow CEGIS query never blocks other clients —
+ * responses carry the request id and may be written out of order.
+ *
+ * Admission control: at most `queue_depth` select requests may be in
+ * flight (queued or running) at once. Past that the server answers
+ * `overloaded` immediately instead of queueing — a shed request costs
+ * the client one round trip, never a synthesis slot, and clients
+ * degrade from it exactly like a timeout (greedy fallback). The shed
+ * is stateless: nothing is cached, so the same expression succeeds on
+ * a later, calmer submission.
+ *
+ * Deadlines are armed at request *receipt* — queue time counts
+ * against the client's budget, so a request that waited out its
+ * timeout in the queue comes back `timed_out` (degraded greedy
+ * answer) rather than consuming a worker for a stale query.
+ *
+ * Shutdown (SIGTERM in the tool) is a graceful drain: stop accepting,
+ * give in-flight requests up to `drain_ms` to finish and flush their
+ * responses, then force-close the remaining sessions.
+ */
+#ifndef RAKE_SERVE_SERVER_H
+#define RAKE_SERVE_SERVER_H
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "serve/protocol.h"
+#include "support/socket.h"
+#include "support/thread_pool.h"
+#include "synth/service.h"
+
+namespace rake::serve {
+
+struct ServeOptions {
+    /** Socket path; resolve_socket_path() handles RAKE_SOCKET. */
+    std::string socket_path;
+
+    /** Synthesis worker threads (resolve_jobs / RAKE_JOBS applies). */
+    int jobs = 0;
+
+    /** Max select requests in flight before shedding (`overloaded`). */
+    int queue_depth = 256;
+
+    /** Graceful-drain budget on stop()/SIGTERM, in milliseconds. */
+    int drain_ms = 2000;
+
+    /**
+     * Server-wide per-query wall-clock cap in milliseconds; 0 = none.
+     * Armed per request at receipt (a Deadline is an absolute instant,
+     * so a long-running server cannot keep one in `rake`). A client
+     * timeout can only shorten it, never extend it.
+     */
+    int timeout_cap_ms = 0;
+
+    /** Base options for every query (cache_dir, rules_file, seed,
+     *  server-wide deadline cap). */
+    synth::RakeOptions rake;
+
+    /** Backend registry; empty means default_backend_registry(). */
+    std::map<std::string, synth::BackendFactory> backends;
+};
+
+class Server
+{
+  public:
+    /** Binds the socket and starts the accept loop; throws UserError
+     *  when the socket path is unusable. */
+    explicit Server(ServeOptions options);
+
+    /** stop()s if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Graceful drain: close the listener, wait up to drain_ms for
+     * in-flight selects to finish, then shut down every session.
+     * Idempotent. Returns true when the drain completed cleanly
+     * (no in-flight work was abandoned).
+     */
+    bool stop();
+
+    const std::string &socket_path() const { return socket_path_; }
+
+    /** The serving facade (tests read metrics through this). */
+    synth::SelectService &service() { return *service_; }
+
+  private:
+    struct Session;
+
+    void accept_loop();
+    void session_loop(const std::shared_ptr<Session> &session);
+    void handle_select(const std::shared_ptr<Session> &session,
+                       const Request &request);
+    void reap_finished_sessions();
+
+    ServeOptions options_;
+    std::string socket_path_;
+    std::unique_ptr<synth::SelectService> service_;
+    std::unique_ptr<ThreadPool> pool_;
+    UnixListener listener_;
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> stopped_{false};
+    std::atomic<int> inflight_{0}; ///< admission-controlled selects
+
+    std::mutex sessions_mutex_;
+    struct SessionHandle {
+        std::shared_ptr<Session> session;
+        std::thread thread;
+    };
+    std::list<SessionHandle> sessions_;
+    std::thread accept_thread_;
+};
+
+} // namespace rake::serve
+
+#endif // RAKE_SERVE_SERVER_H

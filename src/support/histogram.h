@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Fixed-bucket latency histogram for the serving layer.
+ *
+ * The compile server reports p50/p99 synthesis latency in its metrics
+ * response, and the recording site sits on the per-request hot path —
+ * so the histogram is a fixed array of atomic counters: record() is
+ * two loads, a branchless bucket index, and one relaxed increment.
+ * Nothing allocates after construction, and concurrent recorders
+ * never contend on anything but the one cache line their bucket
+ * shares.
+ *
+ * Buckets are log-spaced powers of two over microseconds: bucket i
+ * covers [2^i, 2^(i+1)) us, with an underflow bucket below 1 us and
+ * the last bucket absorbing everything past ~64 s. Quantiles are
+ * answered as the upper bound of the first bucket whose cumulative
+ * count reaches the rank, which makes quantile(0.99) >=
+ * quantile(0.50) by construction — the monotonicity the soak test
+ * asserts.
+ */
+#ifndef RAKE_SUPPORT_HISTOGRAM_H
+#define RAKE_SUPPORT_HISTOGRAM_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace rake {
+
+class LatencyHistogram
+{
+  public:
+    /** Bucket 0: < 1 us. Buckets 1..26: [2^(i-1), 2^i) us. Bucket 27
+     *  (the last): >= 2^26 us (~67 s), a catch-all for pathologies. */
+    static constexpr int kBuckets = 28;
+
+    LatencyHistogram() = default;
+
+    /** Record one sample, given in seconds (hot path). */
+    void
+    record_seconds(double seconds)
+    {
+        double us = seconds * 1e6;
+        if (us < 0)
+            us = 0;
+        int b = 0;
+        // 2^52 us is far past the catch-all; the cast is safe for any
+        // sample that ever reaches a bucket other than the last.
+        uint64_t u = us >= 1.0 ? static_cast<uint64_t>(us) : 0;
+        while (u > 0 && b < kBuckets - 1) {
+            u >>= 1;
+            ++b;
+        }
+        buckets_[b].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Total samples recorded. */
+    int64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Quantile estimate in microseconds: the upper bound of the first
+     * bucket whose cumulative count reaches ceil(q * count). Returns
+     * 0 when empty. q is clamped to [0, 1]. Concurrent record()s make
+     * the answer approximate (counters are read one by one), which is
+     * fine for a metrics endpoint.
+     */
+    double
+    quantile_us(double q) const
+    {
+        if (q < 0)
+            q = 0;
+        if (q > 1)
+            q = 1;
+        const int64_t total = count();
+        if (total <= 0)
+            return 0;
+        int64_t rank = static_cast<int64_t>(q * static_cast<double>(total));
+        if (rank < 1)
+            rank = 1;
+        if (rank > total)
+            rank = total;
+        int64_t seen = 0;
+        for (int i = 0; i < kBuckets; ++i) {
+            seen += buckets_[i].load(std::memory_order_relaxed);
+            if (seen >= rank)
+                return bucket_upper_us(i);
+        }
+        return bucket_upper_us(kBuckets - 1);
+    }
+
+    /** Upper bound of bucket i in microseconds (the quantile unit). */
+    static double
+    bucket_upper_us(int i)
+    {
+        if (i <= 0)
+            return 1.0;
+        if (i >= kBuckets - 1)
+            i = kBuckets - 1;
+        return static_cast<double>(1ull << i);
+    }
+
+    /** Zero every counter (tests; not expected on the serving path). */
+    void
+    clear()
+    {
+        for (auto &b : buckets_)
+            b.store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+    std::atomic<int64_t> count_{0};
+};
+
+} // namespace rake
+
+#endif // RAKE_SUPPORT_HISTOGRAM_H

@@ -55,6 +55,24 @@ struct CacheStats {
     int64_t disk_writes = 0;  ///< completed results persisted to disk
     int64_t disk_invalid = 0; ///< entries rejected (stale version,
                               ///< truncated/corrupt file): misses
+
+    /**
+     * Hits that found their entry still *in flight* and blocked until
+     * the owner published — the cross-client dedupe the compile
+     * server reports as `inflight_dedup`. A subset of `hits`; always
+     * zero when queries never overlap (e.g. a single-threaded run),
+     * so existing reports are unaffected.
+     */
+    int64_t inflight_hits = 0;
+
+    /**
+     * Completed CEGIS executions against this cache's target —
+     * queries no tier (memory/disk/rules) could answer. Reported by
+     * the query layer (synth/rake.cc), like the disk counters, and
+     * counted even for use_cache = false queries. Timed-out searches
+     * are not counted: they retract instead of completing.
+     */
+    int64_t synth_runs = 0;
 };
 
 /** Everything beyond the expression that can change a Rake run. */
@@ -110,6 +128,8 @@ template <typename Result> class BasicSynthCache
     {
         const size_t bucket = detail::cache_mix(expr->hash(), fingerprint);
         std::unique_lock<std::mutex> lock(mutex_);
+        bool waited = false; // found the entry before its owner
+                             // published: an in-flight dedupe
         for (;;) {
             std::vector<EntryPtr> &slots = table_[bucket];
             EntryPtr e;
@@ -133,6 +153,8 @@ template <typename Result> class BasicSynthCache
                 *owner = true;
                 return entry;
             }
+            if (!e->done)
+                waited = true;
             // Another thread may still be synthesizing this key;
             // block until it publishes rather than duplicating work —
             // but no longer than the waiter's own deadline. A
@@ -171,6 +193,8 @@ template <typename Result> class BasicSynthCache
             if (e->aborted)
                 continue; // retracted by a timed-out owner: retry
             ++stats_.hits;
+            if (waited)
+                ++stats_.inflight_hits;
             *owner = false;
             return e;
         }
@@ -255,6 +279,14 @@ template <typename Result> class BasicSynthCache
     {
         std::unique_lock<std::mutex> lock(mutex_);
         ++stats_.disk_invalid;
+    }
+
+    /** One completed CEGIS run (see CacheStats::synth_runs). */
+    void
+    note_synth_run()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ++stats_.synth_runs;
     }
 
     /** Drop every entry and zero the counters (tests, benchmarks). */

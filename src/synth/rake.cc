@@ -246,6 +246,7 @@ select_instructions(const hir::ExprPtr &expr, const RakeOptions &raw_opts)
         } catch (const TimeoutError &) {
             return degrade_to_baseline(expr, opts);
         }
+        cache.note_synth_run();
         if (result)
             result->rule_rejects = rule_rejects;
         if (disk && disk->store(normalized, fp, result))
@@ -318,6 +319,7 @@ select_instructions(const hir::ExprPtr &expr, const RakeOptions &raw_opts)
         cache.publish(entry, std::nullopt);
         throw;
     }
+    cache.note_synth_run();
     if (result)
         result->rule_rejects = rule_rejects;
     cache.publish(entry, result);
@@ -373,6 +375,7 @@ select_instructions_for(const hir::ExprPtr &expr, backend::TargetISA &isa,
         } catch (const TimeoutError &) {
             return degrade_to_greedy(expr, isa);
         }
+        cache.note_synth_run();
         if (result)
             result->rule_rejects = rule_rejects;
         if (disk && disk->store_backend(normalized, disk_fp, isa, result))
@@ -430,6 +433,7 @@ select_instructions_for(const hir::ExprPtr &expr, backend::TargetISA &isa,
         cache.publish(entry, std::nullopt);
         throw;
     }
+    cache.note_synth_run();
     if (result)
         result->rule_rejects = rule_rejects;
     cache.publish(entry, result);

@@ -1,0 +1,184 @@
+#include "synth/service.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "hir/sexpr.h"
+#include "support/error.h"
+
+namespace rake::synth {
+
+namespace {
+
+std::string
+fmt_us(double v)
+{
+    // Bucket bounds are small integral powers of two; render them as
+    // plain integers so the JSON is stable and grep-able.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+ServiceMetrics::to_json() const
+{
+    std::ostringstream os;
+    os << "{\"requests\":" << requests
+       << ",\"memory_hits\":" << memory_hits
+       << ",\"disk_hits\":" << disk_hits
+       << ",\"rule_hits\":" << rule_hits
+       << ",\"cegis_runs\":" << cegis_runs
+       << ",\"no_solution\":" << no_solution
+       << ",\"timed_out\":" << timed_out
+       << ",\"degraded\":" << degraded
+       << ",\"overloaded\":" << overloaded
+       << ",\"errors\":" << errors
+       << ",\"inflight_dedup\":" << inflight_dedup
+       << ",\"latency_count\":" << latency_count
+       << ",\"latency_p50_us\":" << fmt_us(latency_p50_us)
+       << ",\"latency_p99_us\":" << fmt_us(latency_p99_us) << "}";
+    return os.str();
+}
+
+SelectService::SelectService(ServiceConfig config)
+    : config_(std::move(config))
+{
+    RAKE_USER_CHECK(!config_.backends.empty(),
+                    "service needs at least one backend");
+    // The service's cache counters are *deltas* from this snapshot,
+    // so a server embedded in a process that already synthesized
+    // (tests) reports only its own traffic.
+    baseline_ = cache_totals();
+}
+
+CacheStats
+SelectService::cache_totals() const
+{
+    CacheStats total;
+    for (const auto &[name, factory] : config_.backends) {
+        const CacheStats s = backend_synthesis_cache(name).stats();
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.inflight_hits += s.inflight_hits;
+        total.synth_runs += s.synth_runs;
+        total.disk_hits += s.disk_hits;
+        total.disk_writes += s.disk_writes;
+        total.disk_invalid += s.disk_invalid;
+    }
+    return total;
+}
+
+ServiceReply
+SelectService::select(const ServiceRequest &request)
+{
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    ServiceReply reply;
+
+    const auto it = config_.backends.find(request.backend);
+    if (it == config_.backends.end()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        reply.status = SynthStatus::Error;
+        reply.error = "unknown backend: " + request.backend;
+        return reply;
+    }
+
+    hir::ExprPtr expr;
+    try {
+        expr = hir::parse_expr(request.expr);
+    } catch (const UserError &e) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        reply.status = SynthStatus::Error;
+        reply.error = e.what();
+        return reply;
+    }
+
+    RakeOptions opts = config_.rake;
+    opts.deadline = opts.deadline.sooner(request.deadline);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::optional<BackendRakeResult> result;
+    std::unique_ptr<backend::TargetISA> isa;
+    try {
+        isa = it->second();
+        result = select_instructions_for(expr, *isa, opts);
+    } catch (const std::exception &e) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        reply.status = SynthStatus::Error;
+        reply.error = e.what();
+        return reply;
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    latency_.record_seconds(seconds);
+
+    if (!result) {
+        // Deterministic failure (either fresh or replayed from a
+        // tier; the tiers don't tag cached failures, so no tier is
+        // claimed for them).
+        no_solution_.fetch_add(1, std::memory_order_relaxed);
+        reply.status = SynthStatus::NoSolution;
+        reply.tier = "none";
+        return reply;
+    }
+
+    reply.status = result->status;
+    reply.degraded = result->degraded;
+    if (result->degraded) {
+        timed_out_.fetch_add(1, std::memory_order_relaxed);
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+        reply.tier = "none"; // greedy fallback, not a tier answer
+    } else if (result->cache_hit) {
+        memory_hits_.fetch_add(1, std::memory_order_relaxed);
+        reply.tier = "memory";
+    } else if (result->disk_hit) {
+        disk_hits_.fetch_add(1, std::memory_order_relaxed);
+        reply.tier = "disk";
+    } else if (result->rule_hit) {
+        rule_hits_.fetch_add(1, std::memory_order_relaxed);
+        reply.tier = "rule";
+    } else {
+        reply.tier = "cegis";
+    }
+    if (result->instr) {
+        reply.found = true;
+        reply.instr = isa->instr_to_sexpr(result->instr);
+    }
+    return reply;
+}
+
+void
+SelectService::note_shed()
+{
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    overloaded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ServiceMetrics
+SelectService::metrics() const
+{
+    const CacheStats now = cache_totals();
+    ServiceMetrics m;
+    m.requests = requests_.load(std::memory_order_relaxed);
+    m.memory_hits = memory_hits_.load(std::memory_order_relaxed);
+    m.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+    m.rule_hits = rule_hits_.load(std::memory_order_relaxed);
+    m.cegis_runs = now.synth_runs - baseline_.synth_runs;
+    m.no_solution = no_solution_.load(std::memory_order_relaxed);
+    m.timed_out = timed_out_.load(std::memory_order_relaxed);
+    m.degraded = degraded_.load(std::memory_order_relaxed);
+    m.overloaded = overloaded_.load(std::memory_order_relaxed);
+    m.errors = errors_.load(std::memory_order_relaxed);
+    m.inflight_dedup = now.inflight_hits - baseline_.inflight_hits;
+    m.latency_count = latency_.count();
+    m.latency_p50_us = latency_.quantile_us(0.50);
+    m.latency_p99_us = latency_.quantile_us(0.99);
+    return m;
+}
+
+} // namespace rake::synth

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * SelectService: the serving facade over select_instructions_for().
+ *
+ * One long-running object that answers (backend, expression sexpr)
+ * queries through the full selection stack — in-memory cache tier,
+ * persistent disk tier, mined rewrite rules, then CEGIS — and keeps
+ * the counters the compile server's `metrics` request reports:
+ * per-tier hit counts, degraded/shed/timeout outcomes, cross-client
+ * in-flight dedupe hits, and a fixed-bucket latency histogram
+ * (support/histogram.h) for p50/p99 synthesis latency.
+ *
+ * Thread safety: select() may be called from any number of threads
+ * concurrently (the server's ThreadPool workers); dedupe across them
+ * — and hence across the clients they serve — is exactly the
+ * owner/waiter protocol of the cross-expression cache, which is why a
+ * warm server answers most traffic without ever re-running CEGIS.
+ *
+ * Tier attribution: `memory`/`disk`/`rule` come from the result's own
+ * hit flags; `cegis_runs` and `inflight_dedup` are deltas of the
+ * cache singletons' counters since this service was constructed (the
+ * server process does no other synthesis, so the deltas are exact).
+ */
+#ifndef RAKE_SYNTH_SERVICE_H
+#define RAKE_SYNTH_SERVICE_H
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "backend/target_isa.h"
+#include "support/histogram.h"
+#include "synth/cache.h"
+#include "synth/rake.h"
+
+namespace rake::synth {
+
+/** Creates a fresh per-query TargetISA (they carry per-run state). */
+using BackendFactory =
+    std::function<std::unique_ptr<backend::TargetISA>()>;
+
+/** Service configuration. */
+struct ServiceConfig {
+    /**
+     * Options every query starts from (cache_dir, rules_file, seed,
+     * verifier knobs). The per-request deadline is layered on top;
+     * `deadline` here acts as a server-wide cap when set.
+     */
+    RakeOptions rake;
+
+    /** Backend name -> factory. serve/server.h provides the default
+     *  registry (hvx + neon). */
+    std::map<std::string, BackendFactory> backends;
+};
+
+/** One selection query, as the server hands it to the service. */
+struct ServiceRequest {
+    std::string backend = "hvx";
+    std::string expr;     ///< HIR s-expression
+    Deadline deadline;    ///< armed at request *receipt*, so queue
+                          ///< time counts against the budget
+};
+
+/** One selection answer. */
+struct ServiceReply {
+    SynthStatus status = SynthStatus::Ok;
+    bool found = false;    ///< instr holds a selection
+    bool degraded = false; ///< greedy fallback after a timeout
+    std::string tier;      ///< memory | disk | rule | cegis | none
+    std::string instr;     ///< canonical selection s-expression
+    std::string error;     ///< message when status == Error
+};
+
+/** Snapshot of the service counters (the `metrics` payload). */
+struct ServiceMetrics {
+    int64_t requests = 0;     ///< select() calls answered
+    int64_t memory_hits = 0;  ///< answered by the in-memory tier
+    int64_t disk_hits = 0;    ///< answered by the persistent tier
+    int64_t rule_hits = 0;    ///< answered by the rule-first stage
+    int64_t cegis_runs = 0;   ///< completed CEGIS executions
+    int64_t no_solution = 0;  ///< deterministic search failures
+    int64_t timed_out = 0;    ///< deadline expiries (degraded answers)
+    int64_t degraded = 0;     ///< greedy-fallback answers shipped
+    int64_t overloaded = 0;   ///< requests shed by admission control
+    int64_t errors = 0;       ///< malformed requests / backend errors
+    int64_t inflight_dedup = 0; ///< hits that waited on an in-flight
+                                ///< synthesis of the same goal
+    int64_t latency_count = 0;  ///< samples in the histogram
+    double latency_p50_us = 0;  ///< median select() latency
+    double latency_p99_us = 0;  ///< tail select() latency
+
+    /** Flat JSON object, key order fixed for grep-able CI smokes. */
+    std::string to_json() const;
+};
+
+class SelectService
+{
+  public:
+    explicit SelectService(ServiceConfig config);
+
+    SelectService(const SelectService &) = delete;
+    SelectService &operator=(const SelectService &) = delete;
+
+    /** Answer one query (thread-safe, called by pool workers). */
+    ServiceReply select(const ServiceRequest &request);
+
+    /** Admission control shed one request before it reached select(). */
+    void note_shed();
+
+    ServiceMetrics metrics() const;
+
+    const ServiceConfig &config() const { return config_; }
+
+  private:
+    CacheStats cache_totals() const;
+
+    ServiceConfig config_;
+    CacheStats baseline_; ///< cache counters at construction
+
+    std::atomic<int64_t> requests_{0};
+    std::atomic<int64_t> memory_hits_{0};
+    std::atomic<int64_t> disk_hits_{0};
+    std::atomic<int64_t> rule_hits_{0};
+    std::atomic<int64_t> no_solution_{0};
+    std::atomic<int64_t> timed_out_{0};
+    std::atomic<int64_t> degraded_{0};
+    std::atomic<int64_t> overloaded_{0};
+    std::atomic<int64_t> errors_{0};
+    LatencyHistogram latency_;
+};
+
+} // namespace rake::synth
+
+#endif // RAKE_SYNTH_SERVICE_H

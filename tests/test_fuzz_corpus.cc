@@ -12,9 +12,15 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "fuzz/corpus.h"
 #include "fuzz/oracles.h"
 #include "hir/printer.h"
+#include "serve/protocol.h"
 
 #ifndef RAKE_CORPUS_DIR
 #error "RAKE_CORPUS_DIR must point at tests/corpus"
@@ -63,6 +69,70 @@ TEST(FuzzCorpusReplay, EntriesReplayOnEachBackendAlone)
         EXPECT_TRUE(check_expr(entry.expr, neon_only).ok())
             << entry.path;
     }
+}
+
+/**
+ * Protocol corpus replay: raw wire bytes for the compile server's
+ * frame decoder + request parser (they live in a subdirectory, which
+ * load_corpus — regular files only — never descends into). The name
+ * encodes the verdict: `ok-*` must decode to valid requests, `bad-*`
+ * must yield a structured error. Either way the drill returns — the
+ * hostile bytes in this corpus may never crash or hang the decoder.
+ */
+std::vector<std::filesystem::path>
+frame_corpus()
+{
+    std::vector<std::filesystem::path> files;
+    const std::filesystem::path dir =
+        std::filesystem::path(RAKE_CORPUS_DIR) / "protocol";
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        if (e.is_regular_file() && e.path().extension() == ".frame")
+            files.push_back(e.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+slurp_bytes(const std::filesystem::path &p)
+{
+    std::ifstream is(p, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(FrameCorpusReplay, CorpusIsNonEmpty)
+{
+    EXPECT_GE(frame_corpus().size(), 10u);
+}
+
+TEST(FrameCorpusReplay, EveryFrameFileDrillsToItsVerdict)
+{
+    for (const auto &path : frame_corpus()) {
+        const std::string name = path.filename().string();
+        const serve::FrameDrill drill =
+            serve::drill_frames(slurp_bytes(path));
+        if (name.rfind("ok-", 0) == 0) {
+            EXPECT_FALSE(drill.hostile()) << name << ": " << drill.error;
+            EXPECT_GE(drill.requests, 1) << name;
+            EXPECT_EQ(drill.requests, drill.frames) << name;
+        } else {
+            ASSERT_TRUE(name.rfind("bad-", 0) == 0)
+                << name << ": frame files must be ok-* or bad-*";
+            EXPECT_TRUE(drill.hostile()) << name;
+            EXPECT_FALSE(drill.error.empty()) << name;
+        }
+    }
+}
+
+TEST(FrameCorpusReplay, ExpressionCorpusLoaderSkipsTheSubdirectory)
+{
+    // The guarantee the layout depends on: load_corpus() must keep
+    // ignoring tests/corpus/protocol/ or expression replay would try
+    // to parse wire bytes as s-expressions.
+    for (const CorpusEntry &entry : corpus())
+        EXPECT_EQ(entry.path.find("protocol"), std::string::npos)
+            << entry.path;
 }
 
 } // namespace

@@ -11,13 +11,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "backend/neon_backend.h"
@@ -339,6 +343,105 @@ TEST(Persist, ConcurrentWritersNeverTearAnEntry)
     for (const auto &f : fs::directory_iterator(dir))
         EXPECT_EQ(f.path().extension(), ".rakecache")
             << f.path().string();
+}
+
+/**
+ * Crash torture for the atomic temp+rename publish protocol: writer
+ * *processes* (not threads — a thread can't be killed mid-syscall
+ * without taking the test down with it) hammer one key while the
+ * parent SIGKILLs them at random points and reads concurrently. No
+ * read may ever see a torn entry: every load is either a miss, or a
+ * complete, bit-identical entry. Stale temp files abandoned by the
+ * kills stay invisible, and a deliberately truncated entry counts as
+ * `disk_invalid` — a miss the next store() repairs.
+ */
+TEST(Persist, SigkilledWritersNeverTearAnEntry)
+{
+    const std::string dir = fresh_dir("sigkill");
+    const ExprPtr e = average_expr();
+    synth::RakeOptions opts;
+    opts.use_cache = false;
+    auto base = synth::select_instructions(e, opts);
+    ASSERT_TRUE(base.has_value());
+
+    auto *store = synth::persistent_store(dir);
+    const ExprPtr normalized = hir::simplify(e);
+    const uint64_t fp = synth::options_fingerprint(opts);
+    const std::string expect = hvx::to_sexpr(base->instr);
+
+    std::mt19937 rng(7);
+    std::uniform_int_distribution<int> delay_us(50, 3000);
+    int observed_hits = 0;
+    for (int round = 0; round < 10; ++round) {
+        // Three writer processes per round, each publishing the same
+        // key as fast as it can until killed from outside.
+        std::vector<pid_t> writers;
+        for (int w = 0; w < 3; ++w) {
+            const pid_t pid = fork();
+            ASSERT_GE(pid, 0) << "fork failed";
+            if (pid == 0) {
+                for (;;)
+                    store->store(normalized, fp, *base);
+            }
+            writers.push_back(pid);
+        }
+        // Read while they write; kill them at staggered random
+        // offsets so deaths land before, during, and after publishes.
+        for (const pid_t pid : writers) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(delay_us(rng)));
+            auto racing = store->load(normalized, fp);
+            EXPECT_FALSE(racing.invalid)
+                << "torn read with live writers, round " << round;
+            ASSERT_EQ(kill(pid, SIGKILL), 0);
+        }
+        for (const pid_t pid : writers) {
+            int status = 0;
+            ASSERT_EQ(waitpid(pid, &status, 0), pid);
+            ASSERT_TRUE(WIFSIGNALED(status));
+            ASSERT_EQ(WTERMSIG(status), SIGKILL);
+        }
+        // The survivors' view after the massacre: a miss (no publish
+        // completed yet) or one complete, correct entry. Never torn.
+        auto loaded = store->load(normalized, fp);
+        ASSERT_FALSE(loaded.invalid) << "torn entry after round " << round;
+        if (loaded.hit) {
+            ++observed_hits;
+            ASSERT_TRUE(loaded.result.has_value());
+            EXPECT_EQ(hvx::to_sexpr(loaded.result->instr), expect);
+        }
+    }
+    // 30 killed writers across 10 rounds with multi-millisecond kill
+    // windows: some publish must have completed.
+    EXPECT_GE(observed_hits, 1);
+
+    // Kills mid-write legitimately abandon temp files; they must not
+    // masquerade as entries. Add a hand-made straggler to be sure one
+    // exists, then check every view of the directory ignores them.
+    const auto files = entry_files(dir);
+    ASSERT_EQ(files.size(), 1u);
+    spit(files[0].string() + ".tmp.99999.0", "half-written garbage");
+    EXPECT_EQ(entry_files(dir).size(), 1u);
+    EXPECT_EQ(synth::scan_cache_dir(dir).size(), 1u);
+    const auto stats_before = store->stats();
+    auto clean = store->load(normalized, fp);
+    ASSERT_TRUE(clean.hit);
+    EXPECT_EQ(store->stats().invalid, stats_before.invalid);
+
+    // A truncated entry (a torn write simulated by hand — the rename
+    // protocol itself never produces one) is a counted miss...
+    const std::string good = slurp(files[0]);
+    spit(files[0], good.substr(0, good.size() / 2));
+    auto truncated = store->load(normalized, fp);
+    EXPECT_FALSE(truncated.hit);
+    EXPECT_TRUE(truncated.invalid);
+    EXPECT_EQ(store->stats().invalid, stats_before.invalid + 1);
+
+    // ...that the next completed publish repairs in place.
+    ASSERT_TRUE(store->store(normalized, fp, *base));
+    auto repaired = store->load(normalized, fp);
+    ASSERT_TRUE(repaired.hit);
+    EXPECT_EQ(hvx::to_sexpr(repaired.result->instr), expect);
 }
 
 TEST(Persist, TimedOutQueryNeverLandsOnDisk)

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Thin client for the compile server (serve/client.h).
+ *
+ *   rake_client [--socket PATH] [--target hvx|neon]
+ *               [--expr SEXPR | --bench NAME | --suite]
+ *               [--repeat N] [--timeout-ms N] [--no-degrade]
+ *               [--selections PATH] [--metrics] [--ping]
+ *
+ * Query sources: one expression on the command line, one named
+ * benchmark's expressions, or the full 21-benchmark suite. --repeat
+ * duplicates the batch N times *within one submission* — the way to
+ * demonstrate (and CI-assert) cross-request in-flight dedupe.
+ * --selections writes one `name status tier instr` line per response,
+ * in request order, so cold and warm runs can be diffed byte-for-byte.
+ * --metrics fetches the server's counter JSON after the batch (or on
+ * its own) and prints it to stdout.
+ *
+ * Exit status: 0 on success (including degraded answers — those are
+ * the deadline contract, not failures), 1 when any response has
+ * status `error`, 2 on usage/transport errors.
+ */
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "hir/printer.h"
+#include "hir/sexpr.h"
+#include "pipeline/benchmarks.h"
+#include "pipeline/report.h"
+#include "serve/client.h"
+#include "support/error.h"
+#include "support/parse.h"
+
+namespace {
+
+using namespace rake;
+
+struct ClientArgs {
+    serve::ClientOptions client;
+    std::string target = "hvx";
+    std::string expr;
+    std::string bench;
+    bool suite = false;
+    int repeat = 1;
+    bool metrics = false;
+    bool ping = false;
+    std::string selections;
+};
+
+ClientArgs
+parse_args(int argc, char **argv)
+{
+    ClientArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&](const char *what) {
+            RAKE_USER_CHECK(i + 1 < argc, a << " needs " << what);
+            return std::string(argv[++i]);
+        };
+        if (a == "--socket") {
+            args.client.socket_path = value("a path");
+        } else if (a == "--target") {
+            args.target = value("a value");
+        } else if (a == "--expr") {
+            args.expr = value("an s-expression");
+        } else if (a == "--bench") {
+            args.bench = value("a name");
+        } else if (a == "--suite") {
+            args.suite = true;
+        } else if (a == "--repeat") {
+            args.repeat = static_cast<int>(parse_int_knob(
+                value("a value").c_str(), "--repeat", 1, 1 << 10));
+        } else if (a == "--timeout-ms") {
+            args.client.timeout_ms = static_cast<int>(parse_int_knob(
+                value("a value").c_str(), "--timeout-ms", 1,
+                std::numeric_limits<int>::max()));
+        } else if (a == "--no-degrade") {
+            args.client.degrade_locally = false;
+        } else if (a == "--selections") {
+            args.selections = value("a path");
+        } else if (a == "--metrics") {
+            args.metrics = true;
+        } else if (a == "--ping") {
+            args.ping = true;
+        } else {
+            RAKE_USER_CHECK(false, "unknown flag: " << a);
+        }
+    }
+    RAKE_USER_CHECK(args.target == "hvx" || args.target == "neon",
+                    "unknown target: " << args.target
+                                       << " (expected hvx or neon)");
+    const int sources = (!args.expr.empty() ? 1 : 0) +
+                        (!args.bench.empty() ? 1 : 0) +
+                        (args.suite ? 1 : 0);
+    RAKE_USER_CHECK(sources <= 1,
+                    "give at most one of --expr, --bench, --suite");
+    RAKE_USER_CHECK(sources == 1 || args.metrics || args.ping,
+                    "nothing to do: give --expr, --bench, --suite, "
+                    "--metrics or --ping");
+    return args;
+}
+
+struct NamedQuery {
+    std::string name;
+    std::string expr;
+};
+
+std::vector<NamedQuery>
+collect_queries(const ClientArgs &args)
+{
+    std::vector<NamedQuery> queries;
+    if (!args.expr.empty()) {
+        // Parse locally first: a typo should be a usage error here,
+        // not a server-side `error` response.
+        hir::parse_expr(args.expr);
+        queries.push_back({"expr", args.expr});
+    } else if (!args.bench.empty()) {
+        const pipeline::Benchmark &b = pipeline::benchmark(args.bench);
+        for (const pipeline::KernelExpr &k : b.exprs)
+            queries.push_back(
+                {b.name + "/" + k.name, hir::to_sexpr(k.expr)});
+    } else if (args.suite) {
+        for (const pipeline::Benchmark &b : pipeline::benchmark_suite())
+            for (const pipeline::KernelExpr &k : b.exprs)
+                queries.push_back(
+                    {b.name + "/" + k.name, hir::to_sexpr(k.expr)});
+    }
+    return queries;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const ClientArgs args = parse_args(argc, argv);
+        serve::RemoteSelect remote(args.client);
+
+        if (args.ping) {
+            RAKE_USER_CHECK(remote.ping(), "server did not answer ping");
+            std::cout << "pong\n";
+        }
+
+        const std::vector<NamedQuery> queries = collect_queries(args);
+        bool any_error = false;
+        if (!queries.empty()) {
+            std::vector<serve::Request> batch;
+            for (int r = 0; r < args.repeat; ++r) {
+                for (const NamedQuery &q : queries) {
+                    serve::Request request;
+                    request.backend = args.target;
+                    request.expr = q.expr;
+                    batch.push_back(std::move(request));
+                }
+            }
+            const std::vector<serve::Response> responses =
+                remote.select_batch(std::move(batch));
+
+            int ok = 0, no_solution = 0, degraded_like = 0, errors = 0;
+            std::string lines;
+            for (size_t i = 0; i < responses.size(); ++i) {
+                const serve::Response &resp = responses[i];
+                const NamedQuery &q = queries[i % queries.size()];
+                if (resp.status == "ok")
+                    ++ok;
+                else if (resp.status == "no_solution")
+                    ++no_solution;
+                else if (resp.degraded_like_timeout())
+                    ++degraded_like;
+                else
+                    ++errors;
+                if (resp.status == "error")
+                    std::cerr << "rake_client: " << q.name << ": "
+                              << resp.error << "\n";
+                lines += q.name + " " + resp.status + " " +
+                         (resp.tier.empty() ? "-" : resp.tier) + " " +
+                         (resp.instr.empty() ? "-" : resp.instr) + "\n";
+            }
+            if (!args.selections.empty())
+                pipeline::write_text_file(args.selections, lines);
+            else
+                std::cout << lines;
+            std::cout << "rake_client: " << responses.size()
+                      << " responses (" << ok << " ok, " << no_solution
+                      << " no_solution, " << degraded_like
+                      << " degraded, " << errors << " errors)\n";
+            any_error = errors > 0;
+        }
+
+        if (args.metrics)
+            std::cout << remote.metrics() << "\n";
+        return any_error ? 1 : 0;
+    } catch (const UserError &e) {
+        std::cerr << "rake_client: " << e.what() << "\n";
+        return 2;
+    }
+}

@@ -26,6 +26,13 @@
  * --replay runs the oracles over an existing reproducer file (or a
  * whole corpus directory) instead of generating programs.
  *
+ * --replay-frames drives raw wire bytes (a file or a directory of
+ * files, e.g. tests/corpus/protocol/) through the compile server's
+ * frame decoder and request parser. Files named ok-* must decode to
+ * valid requests; everything else must produce a structured framing
+ * or protocol error. Either way the drill must return — a crash or
+ * hang on hostile bytes is exactly what this gate exists to catch.
+ *
  * --rules PATH arms the rules-vs-CEGIS oracle: each program is
  * selected a second time through the rule-first stage and the result
  * must agree with the rule-free selection's values.
@@ -41,13 +48,19 @@
  *
  * Exit status: 0 = no divergences, 1 = divergences found, 2 = usage.
  */
+#include <algorithm>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "fuzz/corpus.h"
 #include "fuzz/fuzz.h"
 #include "hir/printer.h"
+#include "serve/protocol.h"
 #include "support/error.h"
 
 using namespace rake;
@@ -57,6 +70,7 @@ namespace {
 struct Args {
     fuzz::FuzzOptions fuzz;
     std::string replay;
+    std::string replay_frames;
     bool quiet = false;
 };
 
@@ -70,7 +84,8 @@ usage(const std::string &msg)
                  "[--lanes N] [--stages N] [--envs N] [--timeout-ms N] "
                  "[--no-minimize] [--corpus-dir PATH] "
                  "[--rules PATH] [--inject-sub-bug] [--inject-spin] "
-                 "[--replay FILE|DIR] [--quiet]\n";
+                 "[--replay FILE|DIR] [--replay-frames FILE|DIR] "
+                 "[--quiet]\n";
     std::exit(2);
 }
 
@@ -134,6 +149,8 @@ parse_args(int argc, char **argv)
             args.fuzz.oracles.rules_file = value(i, a);
         } else if (a == "--replay") {
             args.replay = value(i, a);
+        } else if (a == "--replay-frames") {
+            args.replay_frames = value(i, a);
         } else if (a == "--no-minimize") {
             args.fuzz.minimize = false;
         } else if (a == "--inject-sub-bug") {
@@ -183,6 +200,71 @@ replay(const Args &args)
     return failures == 0 ? 0 : 1;
 }
 
+std::string
+slurp_bytes(const std::filesystem::path &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw UserError("cannot read frame file: " + path.string());
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+int
+replay_frames(const Args &args)
+{
+    namespace fs = std::filesystem;
+    const fs::path root = args.replay_frames;
+    std::vector<fs::path> files;
+    if (fs::is_directory(root)) {
+        for (const auto &e : fs::directory_iterator(root))
+            if (e.is_regular_file() &&
+                e.path().extension() == ".frame")
+                files.push_back(e.path());
+        std::sort(files.begin(), files.end());
+    } else if (fs::is_regular_file(root)) {
+        files.push_back(root);
+    } else {
+        throw UserError("no frame file or directory at: " +
+                        root.string());
+    }
+    if (files.empty())
+        throw UserError("no .frame files under: " + root.string());
+    int failures = 0;
+    for (const fs::path &path : files) {
+        const std::string name = path.filename().string();
+        const serve::FrameDrill drill =
+            serve::drill_frames(slurp_bytes(path));
+        // The filename carries the verdict: ok-* must decode cleanly
+        // to requests, anything else must fail structurally. Either
+        // way drill_frames returning at all is the headline property.
+        std::string why;
+        if (name.rfind("ok-", 0) == 0) {
+            if (drill.hostile())
+                why = "expected clean decode, got: " + drill.error;
+            else if (drill.requests < 1 || drill.requests != drill.frames)
+                why = "expected every frame to parse as a request";
+        } else {
+            if (!drill.hostile())
+                why = "hostile bytes decoded without an error";
+            else if (drill.error.empty())
+                why = "hostile bytes produced no error message";
+        }
+        if (why.empty()) {
+            if (!args.quiet)
+                std::cout << "ok   " << path.string() << "\n";
+            continue;
+        }
+        ++failures;
+        std::cout << "FAIL " << path.string() << "\n     " << why
+                  << "\n";
+    }
+    std::cout << files.size() - failures << "/" << files.size()
+              << " frame files pass\n";
+    return failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -190,8 +272,12 @@ main(int argc, char **argv)
 {
     try {
         const Args args = parse_args(argc, argv);
+        if (!args.replay.empty() && !args.replay_frames.empty())
+            usage("--replay and --replay-frames are exclusive");
         if (!args.replay.empty())
             return replay(args);
+        if (!args.replay_frames.empty())
+            return replay_frames(args);
         const fuzz::FuzzReport report = fuzz::run(args.fuzz);
         if (!args.quiet || report.divergences() > 0)
             std::cout << report.summary();

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The long-running compile server: synthesis-as-a-service over a
+ * Unix-domain socket (serve/server.h). Many short-lived compiler
+ * processes share one warm cache hierarchy — in-memory tier, disk
+ * tier, mined rules, then CEGIS — and identical in-flight queries
+ * from different clients are deduplicated down to a single synthesis.
+ *
+ *   rake_serve --socket PATH [--jobs N] [--queue-depth N]
+ *              [--drain-ms N] [--cache-dir PATH] [--rules PATH]
+ *              [--no-rules] [--timeout-ms N] [--seed N]
+ *
+ * Knobs fall back to the usual environment variables: RAKE_SOCKET,
+ * RAKE_JOBS, RAKE_CACHE_DIR, RAKE_RULES, RAKE_TIMEOUT_MS (a
+ * server-wide per-query cap; clients can only shorten it).
+ *
+ * SIGTERM/SIGINT drain gracefully: stop accepting, let in-flight
+ * requests flush for up to --drain-ms, exit 0.
+ */
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "serve/server.h"
+#include "support/deadline.h"
+#include "support/error.h"
+#include "support/parse.h"
+#include "synth/persist.h"
+#include "synth/rules.h"
+
+namespace {
+
+using namespace rake;
+
+std::atomic<bool> g_stop{false};
+
+void
+on_signal(int)
+{
+    g_stop.store(true);
+}
+
+struct ServeArgs {
+    serve::ServeOptions serve;
+    std::string rules;
+    bool no_rules = false;
+    int timeout_ms = 0;
+};
+
+ServeArgs
+parse_args(int argc, char **argv)
+{
+    ServeArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&](const char *what) {
+            RAKE_USER_CHECK(i + 1 < argc, a << " needs " << what);
+            return std::string(argv[++i]);
+        };
+        auto int_value = [&](const char *name, int64_t lo, int64_t hi) {
+            return static_cast<int>(
+                parse_int_knob(value("a value").c_str(), name, lo, hi));
+        };
+        if (a == "--socket") {
+            args.serve.socket_path = value("a path");
+        } else if (a == "--jobs") {
+            args.serve.jobs = int_value("--jobs", 1, 1 << 16);
+        } else if (a == "--queue-depth") {
+            args.serve.queue_depth =
+                int_value("--queue-depth", 1, 1 << 20);
+        } else if (a == "--drain-ms") {
+            args.serve.drain_ms = int_value("--drain-ms", 0, 1 << 30);
+        } else if (a == "--cache-dir") {
+            args.serve.rake.cache_dir = value("a path");
+        } else if (a == "--rules") {
+            args.rules = value("a path");
+        } else if (a == "--no-rules") {
+            args.no_rules = true;
+        } else if (a == "--timeout-ms") {
+            args.timeout_ms = int_value("--timeout-ms", 1,
+                                        std::numeric_limits<int>::max());
+        } else if (a == "--seed") {
+            args.serve.rake.seed = static_cast<uint64_t>(parse_int_knob(
+                value("a value").c_str(), "--seed", 0,
+                std::numeric_limits<int64_t>::max()));
+        } else {
+            RAKE_USER_CHECK(false, "unknown flag: " << a);
+        }
+    }
+    return args;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServeArgs args;
+    try {
+        args = parse_args(argc, argv);
+        args.serve.rake.cache_dir =
+            synth::resolve_cache_dir(args.serve.rake.cache_dir);
+        args.serve.rake.rules_file =
+            synth::resolve_rules_file(args.rules, args.no_rules);
+        args.serve.timeout_cap_ms =
+            resolve_timeout_ms(args.timeout_ms, "RAKE_TIMEOUT_MS");
+
+        struct sigaction sa = {};
+        sa.sa_handler = on_signal;
+        sigaction(SIGTERM, &sa, nullptr);
+        sigaction(SIGINT, &sa, nullptr);
+        signal(SIGPIPE, SIG_IGN);
+
+        serve::Server server(args.serve);
+        std::cout << "rake_serve: listening on " << server.socket_path()
+                  << " (jobs=" << resolve_jobs(args.serve.jobs)
+                  << " queue-depth=" << args.serve.queue_depth
+                  << ")\n"
+                  << std::flush;
+
+        while (!g_stop.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+        const bool clean = server.stop();
+        const synth::ServiceMetrics m = server.service().metrics();
+        std::cout << "rake_serve: drained "
+                  << (clean ? "cleanly" : "with abandoned work")
+                  << ", served " << m.requests << " requests\n"
+                  << "rake_serve: metrics " << m.to_json() << "\n";
+        return 0;
+    } catch (const UserError &e) {
+        std::cerr << "rake_serve: " << e.what() << "\n";
+        return 2;
+    }
+}
