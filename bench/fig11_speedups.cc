@@ -11,12 +11,21 @@
  * `--dag` swaps in the fused multi-stage suite: the same speedup table
  * plus one whole-pipeline line per benchmark (stage count, surviving
  * boundary swizzles, hash-cons hits, fused-schedule cycles).
+ *
+ * `--execute jit|interp` actually runs each selected program over a
+ * whole synthetic image and reports wall-clock microseconds next to
+ * the modeled cycles ("jit" = the native x86-64 tier, "interp" = the
+ * HVX interpreter); `--json` carries the times as jit_us / interp_us
+ * per benchmark. Without the flag no code is executed and the output
+ * is byte-identical to older drivers.
  */
 #include <iostream>
 
+#include "jit/jit.h"
 #include "pipeline/benchmarks.h"
 #include "pipeline/report.h"
 #include "support/deadline.h"
+#include "support/error.h"
 #include "synth/persist.h"
 #include "synth/rules.h"
 
@@ -27,6 +36,12 @@ main(int argc, char **argv)
     using namespace rake::pipeline;
 
     const BenchArgs args = parse_bench_args(argc, argv);
+    // Fail before compiling anything, not after ten minutes of
+    // synthesis, when the native tier is requested on a host without
+    // one.
+    RAKE_USER_CHECK(args.execute != "jit" || jit::available(),
+                    "--execute jit needs an x86-64 host (try "
+                    "--execute interp)");
     CompileOptions opts;
     opts.jobs = args.jobs;
     opts.timeout_ms =
@@ -38,6 +53,7 @@ main(int argc, char **argv)
         synth::resolve_rules_file(args.rules, args.no_rules);
     std::vector<BenchmarkResult> results;
     std::vector<double> speedups;
+    std::vector<double> exec_us; // per result; empty without --execute
 
     std::cout << "Figure 11: Rake vs Halide HVX backend (simulated "
                  "cycles)\n\n";
@@ -58,9 +74,26 @@ main(int argc, char **argv)
                        std::to_string(r.rake_cycles),
                        fmt(r.speedup) + "x"});
         speedups.push_back(r.speedup);
+        if (!args.execute.empty())
+            exec_us.push_back(execute_benchmark_us(r, args.execute));
         results.push_back(std::move(r));
     }
     std::cout << table.to_string() << "\n";
+
+    // The --execute phase: wall-clock of actually running the
+    // selected code over a whole synthetic image, next to the modeled
+    // cycles above. Silent without the flag, keeping default output
+    // byte-identical.
+    if (!args.execute.empty()) {
+        std::cout << "execution (" << args.execute << ", whole image";
+        if (args.execute == "jit")
+            std::cout << ", " << to_string(jit::simd_level());
+        std::cout << "):\n";
+        for (size_t i = 0; i < results.size(); ++i)
+            std::cout << "  " << results[i].name << ": "
+                      << fmt(exec_us[i], 1) << " us\n";
+        std::cout << "\n";
+    }
 
     double max_speedup = 0;
     for (double s : speedups)
@@ -117,6 +150,41 @@ main(int argc, char **argv)
                       << r.dag_cycles << " cycles\n";
         }
     }
+    if (!args.json.empty()) {
+        std::string bench_json;
+        for (size_t i = 0; i < results.size(); ++i) {
+            const BenchmarkResult &r = results[i];
+            Json bj;
+            bj.put("name", r.name)
+                .put("exprs", r.optimized_exprs)
+                .put("baseline_cycles", r.baseline_cycles)
+                .put("rake_cycles", r.rake_cycles)
+                .put("speedup", r.speedup);
+            // Wall-clock next to the modeled cycles, keyed by tier so
+            // an interp run and a jit run merge cleanly downstream.
+            if (!args.execute.empty())
+                bj.put(args.execute + "_us", exec_us[i]);
+            if (r.stages > 0) {
+                bj.put("stages", r.stages);
+                bj.put("dag_cycles", r.dag_cycles);
+            }
+            if (!bench_json.empty())
+                bench_json += ",";
+            bench_json += bj.to_string();
+        }
+        Json j;
+        j.put("driver", std::string("fig11_speedups"))
+            .put("geomean_speedup", geomean(speedups));
+        if (!args.execute.empty()) {
+            j.put("execute", args.execute);
+            if (args.execute == "jit")
+                j.put("jit_simd", to_string(jit::simd_level()));
+        }
+        j.put_raw("benchmarks", "[" + bench_json + "]");
+        write_text_file(args.json, j.to_string() + "\n");
+        std::cout << "wrote " << args.json << "\n";
+    }
+
     std::cout << "\nsummary: geo-mean speedup " << fmt(geomean(speedups))
               << "x over " << speedups.size() << " benchmarks; "
               << improved << " improved (>3%), " << tied

@@ -32,6 +32,12 @@
  * one canonical s-expression per line, so CI can diff a warm-rule run
  * against a rule-free one for bit-identity.
  *
+ * `--execute jit|interp` runs each selected program over a whole
+ * synthetic image after compiling it, reporting wall-clock
+ * microseconds next to the synthesis statistics (jit_us / interp_us
+ * in the JSON, per benchmark and total). hvx target only; "jit"
+ * requires an x86-64 host.
+ *
  * `--dag` swaps the 21 flat benchmarks for the fused multi-stage
  * suite (pipeline::fused_suite): the same columns apply, and the
  * report/JSON gain stages / boundary_swizzles (always, for DAG
@@ -43,9 +49,11 @@
 
 #include "backend/neon_backend.h"
 #include "hvx/sexpr.h"
+#include "jit/jit.h"
 #include "pipeline/benchmarks.h"
 #include "pipeline/report.h"
 #include "support/deadline.h"
+#include "support/error.h"
 #include "support/thread_pool.h"
 #include "synth/cache.h"
 #include "synth/persist.h"
@@ -136,6 +144,9 @@ main(int argc, char **argv)
     using namespace rake::pipeline;
 
     const BenchArgs args = parse_bench_args(argc, argv);
+    RAKE_USER_CHECK(args.execute != "jit" || jit::available(),
+                    "--execute jit needs an x86-64 host (try "
+                    "--execute interp)");
     CompileOptions opts;
     opts.validate = false; // Table 1 measures synthesis effort only
     opts.jobs = args.jobs;
@@ -162,6 +173,7 @@ main(int argc, char **argv)
     double lift_s = 0, sketch_s = 0, swizzle_s = 0, total_s = 0,
            wall_s = 0;
     int exprs = 0;
+    double exec_us_total = 0;
     synth::SynthProfile profile;
     std::string bench_json;
     std::string selections_dump;
@@ -255,6 +267,14 @@ main(int argc, char **argv)
             bj.put("hashcons_hits", r.hashcons_hits);
         if (r.dag_cycles > 0)
             bj.put("dag_cycles", r.dag_cycles);
+        // The --execute phase: wall-clock next to the synthesis
+        // statistics, keyed by tier. Absent without the flag, so
+        // default JSON stays bit-identical.
+        if (!args.execute.empty() && !neon_target) {
+            const double us = execute_benchmark_us(r, args.execute);
+            exec_us_total += us;
+            bj.put(args.execute + "_us", us);
+        }
         if (!bench_json.empty())
             bench_json += ",";
         bench_json += bj.to_string();
@@ -265,6 +285,15 @@ main(int argc, char **argv)
                    fmt(sketch_s, 3), fmt(swizzle_s, 3), fmt(total_s, 3),
                    fmt(wall_s, 3)});
     std::cout << table.to_string() << "\n";
+
+    if (!args.execute.empty()) {
+        std::cout << "execution (" << args.execute
+                  << ", whole image): " << fmt(exec_us_total, 1)
+                  << " us total";
+        if (args.execute == "jit")
+            std::cout << " (" << to_string(jit::simd_level()) << ")";
+        std::cout << "\n";
+    }
 
     const synth::CacheStats cache =
         neon_target ? synth::backend_synthesis_cache("neon").stats()
@@ -342,6 +371,12 @@ main(int argc, char **argv)
             j.put("stages", profile.stages);
             j.put("boundary_swizzles", profile.boundary_swizzles);
             j.put("hashcons_hits", profile.hashcons_hits);
+        }
+        if (!args.execute.empty()) {
+            j.put("execute", args.execute);
+            j.put(args.execute + "_us", exec_us_total);
+            if (args.execute == "jit")
+                j.put("jit_simd", to_string(jit::simd_level()));
         }
         j.put_raw("benchmarks", "[" + bench_json + "]");
         write_text_file(args.json, j.to_string() + "\n");

@@ -10,6 +10,7 @@
 #include "hir/sexpr.h"
 #include "hir/simplify.h"
 #include "hvx/interp.h"
+#include "jit/jit.h"
 #include "neon/select.h"
 #include "pipeline/dag.h"
 #include "pipeline/executor.h"
@@ -156,6 +157,7 @@ check_expr(const hir::ExprPtr &e, const OracleOptions &opts)
         // the same deterministic detail on every job count.
         stage = "hvx";
         std::vector<Value> hvx_out;
+        hvx::InstrPtr hvx_instr;
         if (opts.hvx) {
             synth::RakeOptions ropts;
             ropts.deadline = guard;
@@ -166,8 +168,9 @@ check_expr(const hir::ExprPtr &e, const OracleOptions &opts)
                                 "degradation shipped)",
                                 /*crash=*/false, /*hang=*/true);
                 res.hvx_selected = true;
+                hvx_instr = r->instr;
                 for (size_t i = 0; i < envs.size(); ++i) {
-                    Value got = hvx::evaluate(r->instr, envs[i]);
+                    Value got = hvx::evaluate(hvx_instr, envs[i]);
                     if (got != ref[i])
                         return fail("hvx",
                                     mismatch_detail("hvx(e)",
@@ -175,6 +178,27 @@ check_expr(const hir::ExprPtr &e, const OracleOptions &opts)
                                                     got, ref[i]));
                     hvx_out.push_back(std::move(got));
                 }
+            }
+        }
+
+        // Oracle 2a (jit-vs-interp): the program oracle 2 just proved
+        // correct on the HVX model, compiled to native x86-64 and run
+        // per environment. With oracle 2 green this isolates the
+        // native tier: any divergence here is an encoder or lowering
+        // bug, not a selection bug.
+        stage = "jit";
+        if (opts.jit && res.hvx_selected && jit::available()) {
+            guard.check("jit: native compile");
+            const std::unique_ptr<jit::Program> prog =
+                jit::Program::compile(hvx_instr);
+            for (size_t i = 0; i < envs.size(); ++i) {
+                prog->bind(envs[i]);
+                const Value got = prog->run(envs[i].x, envs[i].y);
+                if (got != hvx_out[i])
+                    return fail("jit",
+                                mismatch_detail("jit(e) vs hvx interp",
+                                                static_cast<int>(i),
+                                                got, hvx_out[i]));
             }
         }
 
@@ -359,6 +383,26 @@ check_stages(const std::vector<hir::ExprPtr> &stages,
                << " mismatching pixel(s) over " << stages.size()
                << " stages";
             return fail("dag", os.str());
+        }
+
+        // Staged jit: the same DAG through native per-stage programs.
+        // Validation is off so a mismatch surfaces here as a finding
+        // with a pixel count, not as an exception from the harness.
+        if (opts.jit && jit::available()) {
+            guard.check("dag: jit execution");
+            pipeline::JitRunOptions jopts;
+            jopts.validate = false;
+            const pipeline::Image native = pipeline::run_dag_jit(
+                dag, programs, inputs, scalars, jopts);
+            const int64_t jbad =
+                pipeline::count_mismatches(expected, native);
+            if (jbad > 0) {
+                std::ostringstream os;
+                os << "staged jit vs composed HIR reference: " << jbad
+                   << " mismatching pixel(s) over " << stages.size()
+                   << " stages";
+                return fail("dag-jit", os.str());
+            }
         }
     } catch (const TimeoutError &ex) {
         return fail("dag", ex.what(), /*crash=*/false, /*hang=*/true);

@@ -12,6 +12,9 @@
  *     interpreter on every example environment;
  *  2. HVX: full instruction selection, executed on the HVX model,
  *     must agree with the HIR reference;
+ *  2a. JIT: the selected HVX program, compiled to native host
+ *     x86-64 and executed, must agree with the HVX interpreter
+ *     lane-for-lane (skipped on non-x86-64 hosts);
  *  3. NEON: the same through the shared backend::TargetISA path;
  *  4. cross-backend: whenever both targets produced code, their
  *     outputs must agree with each other.
@@ -36,6 +39,15 @@ namespace rake::fuzz {
 struct OracleOptions {
     bool hvx = true;       ///< oracle 2 (and 4 when neon is on too)
     bool neon = true;      ///< oracle 3 (and 4 when hvx is on too)
+
+    /**
+     * Oracle 2a: jit-compile whatever oracle 2 selected and require
+     * the native output to match the HVX interpreter on every example
+     * environment. Implies nothing without hvx; silently skipped when
+     * jit::available() is false (non-x86-64 hosts), so corpus replay
+     * stays green everywhere.
+     */
+    bool jit = false;
     int envs = 4;          ///< example environments per oracle
     uint64_t env_seed = 91;
 
@@ -84,8 +96,8 @@ struct OracleOptions {
 
 /** One observed divergence (or crash) with a replayable description. */
 struct Divergence {
-    std::string oracle; ///< "sexpr", "simplify", "hvx", "rules",
-                        ///< "neon", "hvx-vs-neon"
+    std::string oracle; ///< "sexpr", "simplify", "hvx", "jit",
+                        ///< "rules", "neon", "hvx-vs-neon"
     std::string detail; ///< env index, lane, expected vs actual, ...
     bool crash = false; ///< an exception escaped instead of a mismatch
     bool hang = false;  ///< the per-program deadline fired instead

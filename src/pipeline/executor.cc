@@ -8,6 +8,7 @@
 #include "hir/analysis.h"
 #include "hir/interp.h"
 #include "hvx/interp.h"
+#include "jit/jit.h"
 #include "support/error.h"
 #include "support/rng.h"
 
@@ -174,6 +175,64 @@ run_tiles_reference(const hir::ExprPtr &expr,
 }
 
 Image
+run_tiles_jit(const hvx::InstrPtr &code,
+              const std::map<int, Image> &inputs,
+              const std::map<std::string, int64_t> &scalars,
+              const JitRunOptions &opts)
+{
+    RAKE_USER_CHECK(code != nullptr, "null code");
+    LoadElems loads;
+    std::set<const hvx::Instr *> visited;
+    collect_load_elems(code, loads, visited);
+    std::unique_ptr<jit::Program> program = jit::Program::compile(code);
+    hvx::Interpreter check;
+    bool bound = false;
+    return run_impl(
+        code->type(), loads, inputs, scalars,
+        [&](const Env &env) -> const Value & {
+            // run_impl walks one Env across the whole image, so this
+            // binds exactly once, on the first tile.
+            if (!bound) {
+                program->bind(env);
+                bound = true;
+            }
+            const Value &v = program->run(env.x, env.y);
+            if (opts.validate) {
+                check.reset(env);
+                const Value &ref = check.eval(code);
+                RAKE_USER_CHECK(v == ref,
+                                "jit/interpreter divergence at ("
+                                    << env.x << ", " << env.y
+                                    << "): jit " << to_string(v)
+                                    << " vs interpreter "
+                                    << to_string(ref));
+            }
+            return v;
+        });
+}
+
+Image
+run_tiles_jit_with(jit::Program &program,
+                   const std::map<int, Image> &inputs,
+                   const std::map<std::string, int64_t> &scalars)
+{
+    // Always rebind on the first tile of each pass, even when the
+    // program was bound by an earlier call: the previous pass's Env
+    // was a stack local whose buffers are gone, and a fresh Env can
+    // reuse its address — a pointer-identity "still bound?" test here
+    // once skipped the rebind and ran over freed descriptors.
+    bool bound = false;
+    return run_impl(program.out_type(), program.load_elems(), inputs,
+                    scalars, [&](const Env &env) -> const Value & {
+                        if (!bound) {
+                            program.bind(env);
+                            bound = true;
+                        }
+                        return program.run(env.x, env.y);
+                    });
+}
+
+Image
 run_dag_with(const PipelineDag &dag, const std::vector<StageCode> &stages,
              const std::map<int, Image> &inputs,
              const std::map<std::string, int64_t> &scalars)
@@ -265,6 +324,62 @@ run_dag(const PipelineDag &dag,
 }
 
 Image
+run_dag_jit(const PipelineDag &dag,
+            const std::vector<hvx::InstrPtr> &programs,
+            const std::map<int, Image> &inputs,
+            const std::map<std::string, int64_t> &scalars,
+            const JitRunOptions &opts)
+{
+    RAKE_USER_CHECK(programs.size() == dag.stages.size(),
+                    "pipeline '" << dag.name << "' has "
+                                 << dag.stages.size() << " stages but "
+                                 << programs.size()
+                                 << " programs were supplied");
+    std::vector<StageCode> codes;
+    for (size_t i = 0; i < programs.size(); ++i) {
+        RAKE_USER_CHECK(programs[i] != nullptr,
+                        "null program for stage '"
+                            << dag.stages[i].name << "'");
+        StageCode code;
+        code.out_type = programs[i]->type();
+        std::set<const hvx::Instr *> visited;
+        collect_load_elems(programs[i], code.load_elems, visited);
+        // shared_ptr: StageCode::eval must be copyable. Each stage's
+        // program binds on the first tile of its pass; copies of the
+        // lambda share the flag (and the program) via shared_ptr.
+        std::shared_ptr<jit::Program> compiled =
+            jit::Program::compile(programs[i]);
+        auto check = std::make_shared<hvx::Interpreter>();
+        auto bound = std::make_shared<bool>(false);
+        code.eval = [compiled, check, bound, prog = programs[i],
+                     name = dag.stages[i].name,
+                     validate = opts.validate](const Env &env) -> Value {
+            if (!*bound) {
+                compiled->bind(env);
+                *bound = true;
+            }
+            const Value &v = compiled->run(env.x, env.y);
+            if (validate) {
+                check->reset(env);
+                const Value &ref = check->eval(prog);
+                RAKE_USER_CHECK(v == ref,
+                                "stage '"
+                                    << name
+                                    << "': jit/interpreter divergence "
+                                       "at ("
+                                    << env.x << ", " << env.y
+                                    << "): jit " << to_string(v)
+                                    << " vs interpreter "
+                                    << to_string(ref));
+            }
+            return v;
+        };
+        codes.push_back(std::move(code));
+    }
+    return run_dag_with(dag, codes, inputs, scalars);
+}
+
+Image
 run_dag_reference(const PipelineDag &dag,
                   const std::map<int, Image> &inputs,
                   const std::map<std::string, int64_t> &scalars)
@@ -284,6 +399,22 @@ run_dag_reference(const PipelineDag &dag,
         codes.push_back(std::move(code));
     }
     return run_dag_with(dag, codes, inputs, scalars);
+}
+
+std::map<int, Image>
+synthetic_inputs_for(const hvx::InstrPtr &code, int w, int h,
+                     uint64_t seed)
+{
+    LoadElems loads;
+    std::set<const hvx::Instr *> visited;
+    collect_load_elems(code, loads, visited);
+    std::map<int, Image> inputs;
+    for (const auto &[id, elem] : loads)
+        inputs.emplace(id,
+                       Image::synthetic(elem, w, h,
+                                        seed +
+                                            static_cast<uint64_t>(id)));
+    return inputs;
 }
 
 int64_t

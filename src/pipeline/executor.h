@@ -23,6 +23,10 @@
 #include "hvx/instr.h"
 #include "pipeline/dag.h"
 
+namespace rake::jit {
+class Program;
+}
+
 namespace rake::pipeline {
 
 /** A whole 2-D image with typed pixels. */
@@ -74,6 +78,38 @@ Image run_tiles_reference(const hir::ExprPtr &expr,
                           const std::map<std::string, int64_t> &scalars
                           = {});
 
+/** Options for the native (jit) execution paths. */
+struct JitRunOptions {
+    /**
+     * Cross-check every tile against the HVX interpreter and throw
+     * UserError on the first divergence. On by default — this is the
+     * correctness harness; timing paths turn it off.
+     */
+    bool validate = true;
+};
+
+/**
+ * Execute a compiled vector expression natively: the program is
+ * jit-compiled to host x86-64 once, then run per tile. Semantics are
+ * identical to run_tiles (bit-for-bit; validated per tile when
+ * opts.validate). Throws UserError on non-x86-64 hosts — gate with
+ * jit::available().
+ */
+Image run_tiles_jit(const hvx::InstrPtr &code,
+                    const std::map<int, Image> &inputs,
+                    const std::map<std::string, int64_t> &scalars = {},
+                    const JitRunOptions &opts = {});
+
+/**
+ * Same, over an already-compiled program (no validation): the timing
+ * paths use this to keep one-time jit compilation out of the
+ * steady-state measurement.
+ */
+Image run_tiles_jit_with(jit::Program &program,
+                         const std::map<int, Image> &inputs,
+                         const std::map<std::string, int64_t> &scalars
+                         = {});
+
 /**
  * Executable code for one DAG stage, backend-agnostic: the staged
  * executor only needs the stage's output type, which element type it
@@ -108,11 +144,33 @@ Image run_dag(const PipelineDag &dag,
               const std::map<int, Image> &inputs,
               const std::map<std::string, int64_t> &scalars = {});
 
+/**
+ * Staged execution of jit-compiled per-stage programs. Each stage is
+ * lowered to native code once and run per tile; stage boundaries are
+ * validated by run_dag_with as usual, and each tile is additionally
+ * cross-checked against the interpreter when opts.validate.
+ */
+Image run_dag_jit(const PipelineDag &dag,
+                  const std::vector<hvx::InstrPtr> &programs,
+                  const std::map<int, Image> &inputs,
+                  const std::map<std::string, int64_t> &scalars = {},
+                  const JitRunOptions &opts = {});
+
 /** Staged execution composing the stages' HIR reference interpreters. */
 Image run_dag_reference(const PipelineDag &dag,
                         const std::map<int, Image> &inputs,
                         const std::map<std::string, int64_t> &scalars
                         = {});
+
+/**
+ * Deterministic synthetic input images for every buffer `code` loads:
+ * one w x h image per buffer id, of the element type the program
+ * reads from it. The drivers' `--execute` phase uses this to run
+ * selected code over whole images without external data.
+ */
+std::map<int, Image> synthetic_inputs_for(const hvx::InstrPtr &code,
+                                          int w, int h,
+                                          uint64_t seed = 1);
 
 /** Count of pixels where the two images differ. */
 int64_t count_mismatches(const Image &a, const Image &b);

@@ -1,12 +1,17 @@
 #include "pipeline/report.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <iomanip>
+#include <set>
 #include <sstream>
 
+#include "hir/analysis.h"
+#include "jit/jit.h"
+#include "pipeline/executor.h"
 #include "support/error.h"
 #include "support/parse.h"
 
@@ -157,6 +162,11 @@ parse_bench_args(int argc, char **argv)
             args.selections = a.substr(13);
             RAKE_USER_CHECK(!args.selections.empty(),
                             a << " needs a path");
+        } else if (a == "--execute") {
+            RAKE_USER_CHECK(i + 1 < argc, a << " needs a value");
+            args.execute = argv[++i];
+        } else if (a.rfind("--execute=", 0) == 0) {
+            args.execute = a.substr(10);
         } else if (a == "--profile") {
             args.profile = true;
         } else if (a == "--dag") {
@@ -180,7 +190,75 @@ parse_bench_args(int argc, char **argv)
                                        << " (expected hvx or neon)");
     RAKE_USER_CHECK(!args.greedy || args.target == "neon",
                     "--greedy is a neon-only ablation");
+    RAKE_USER_CHECK(args.execute.empty() || args.execute == "jit" ||
+                        args.execute == "interp",
+                    "--execute must be jit or interp, got: "
+                        << args.execute);
+    RAKE_USER_CHECK(args.execute.empty() || args.target == "hvx",
+                    "--execute runs selected HVX code; combine it "
+                    "with --target hvx");
     return args;
+}
+
+namespace {
+
+/** Free scalar variables reachable through the program's splats. */
+void
+collect_splat_vars(const hvx::InstrPtr &n,
+                   std::map<std::string, int64_t> &scalars,
+                   std::set<const hvx::Instr *> &visited)
+{
+    if (!n || !visited.insert(n.get()).second)
+        return;
+    if (n->op() == hvx::Opcode::VSplat)
+        for (const std::string &v : hir::collect_vars(n->splat_value()))
+            scalars.emplace(v, 7); // any fixed value works for timing
+    for (const hvx::InstrPtr &a : n->args())
+        collect_splat_vars(a, scalars, visited);
+}
+
+} // namespace
+
+double
+execute_benchmark_us(const BenchmarkResult &r, const std::string &mode,
+                     int width, int height)
+{
+    RAKE_USER_CHECK(mode == "interp" || mode == "jit",
+                    "execute mode must be interp or jit, got: "
+                        << mode);
+    using clock = std::chrono::steady_clock;
+    double total_us = 0.0;
+    for (const ExprCompilation &ec : r.exprs) {
+        const hvx::InstrPtr &prog = ec.rake ? ec.rake : ec.baseline;
+        if (!prog)
+            continue;
+        const std::map<int, Image> inputs =
+            synthetic_inputs_for(prog, width, height);
+        std::map<std::string, int64_t> scalars;
+        std::set<const hvx::Instr *> visited;
+        collect_splat_vars(prog, scalars, visited);
+        // One-time jit compilation stays out of the timed region:
+        // the measurement is steady-state whole-image execution, the
+        // regime the tier exists for.
+        std::unique_ptr<jit::Program> compiled;
+        if (mode == "jit")
+            compiled = jit::Program::compile(prog);
+        double best_us = std::numeric_limits<double>::infinity();
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto t0 = clock::now();
+            if (mode == "jit")
+                (void)run_tiles_jit_with(*compiled, inputs, scalars);
+            else
+                (void)run_tiles(prog, inputs, scalars);
+            const double us =
+                std::chrono::duration<double, std::micro>(clock::now() -
+                                                          t0)
+                    .count();
+            best_us = std::min(best_us, us);
+        }
+        total_us += best_us;
+    }
+    return total_us;
 }
 
 namespace {

@@ -42,7 +42,7 @@ std::string speedup_bar(const BenchmarkResult &r, double max_speedup);
  * Command-line options shared by the bench drivers:
  * `[--target hvx|neon] [--jobs N] [--json PATH] [--profile] [--dag]
  * [--no-dedup] [--greedy] [--timeout-ms N] [--run-timeout-ms N]
- * [benchmark-name]`. jobs = 0 defers to the RAKE_JOBS environment
+ * [--execute jit|interp] [benchmark-name]`. jobs = 0 defers to the RAKE_JOBS environment
  * variable (see CompileOptions::jobs); the timeout knobs defer to
  * RAKE_TIMEOUT_MS / RAKE_RUN_TIMEOUT_MS (the drivers call
  * resolve_timeout_ms).
@@ -75,10 +75,32 @@ struct BenchArgs {
     /** --selections PATH: dump every selected instruction DAG (one
      *  canonical sexpr per line) for bit-identity diffs in CI. */
     std::string selections;
+
+    /** --execute jit|interp: actually run the selected code over a
+     *  whole synthetic image and report wall-clock microseconds next
+     *  to the modeled cycles ("jit" = native x86-64 tier, "interp" =
+     *  the HVX interpreter). Empty (the default) skips the execution
+     *  phase entirely, keeping output byte-identical to older
+     *  drivers. hvx-target only; "jit" requires an x86-64 host. */
+    std::string execute;
 };
 
 /** Parse driver flags; throws UserError on malformed input. */
 BenchArgs parse_bench_args(int argc, char **argv);
+
+/**
+ * The drivers' `--execute` phase for one compiled benchmark: run each
+ * selected program (Rake's, falling back to the baseline's when Rake
+ * declined) over a whole width x height synthetic image and return
+ * the summed wall-clock in microseconds. `mode` is "interp" (the HVX
+ * interpreter) or "jit" (the native x86-64 tier; throws UserError on
+ * hosts where jit::available() is false). Best-of-three per
+ * expression with jit tile validation off — the differential test
+ * suite owns correctness, this phase owns timing.
+ */
+double execute_benchmark_us(const BenchmarkResult &r,
+                            const std::string &mode, int width = 256,
+                            int height = 64);
 
 /**
  * Minimal JSON object builder for the drivers' --json output (flat

@@ -99,7 +99,27 @@ RemoteSelect::select_batch(std::vector<Request> requests)
         slot[requests[i].id] = i;
     std::vector<Response> responses(requests.size());
     for (size_t answered = 0; answered < requests.size(); ++answered) {
-        Response resp = read_response();
+        Response resp;
+        try {
+            resp = read_response();
+        } catch (const UserError &e) {
+            // The transport died mid-batch. Everything already
+            // received is a complete, valid answer — keep it, and
+            // surface the unanswered remainder as structured errors
+            // instead of throwing the whole batch away. "error" is
+            // deliberately not a degraded status: a dead connection
+            // must not trigger the local greedy fallback.
+            for (const auto &[id, i] : slot) {
+                Response lost;
+                lost.id = id;
+                lost.status = "error";
+                lost.error = std::string("server connection lost "
+                                         "mid-batch: ") +
+                             e.what();
+                responses[i] = std::move(lost);
+            }
+            return responses;
+        }
         const auto it = slot.find(resp.id);
         RAKE_USER_CHECK(it != slot.end(),
                         "response for unknown request id " << resp.id);

@@ -12,9 +12,15 @@
  * answer an in-process caller gets from a blown deadline, never a
  * hard failure and never a cached negative.
  *
- * Protocol errors (malformed frames or payloads from the server, a
- * connection that dies mid-batch) throw UserError: they mean the
- * transport is broken, not that a query failed.
+ * Protocol errors before any answer is owed (a malformed frame, a
+ * connection refused or lost before the batch is sent) throw
+ * UserError: they mean the transport is broken, not that a query
+ * failed. A connection that dies *mid-batch* is different — the
+ * responses already received are complete answers, so select_batch()
+ * keeps them and fills the unanswered slots with status "error"
+ * responses describing the lost connection rather than discarding
+ * the whole batch. Those synthetic errors are not degraded statuses:
+ * a dead server never triggers the local greedy fallback.
  */
 #ifndef RAKE_SERVE_CLIENT_H
 #define RAKE_SERVE_CLIENT_H
@@ -57,8 +63,11 @@ class RemoteSelect
 
     /**
      * Ship `requests` (ids are assigned by the client) and return the
-     * responses in request order. Throws UserError on any transport
-     * or protocol failure.
+     * responses in request order. Throws UserError when the batch
+     * cannot be sent at all; once it is on the wire, a connection
+     * that dies during collection yields a full-length result with
+     * the received answers intact and status "error" placeholders
+     * (error text names the lost connection) for the rest.
      */
     std::vector<Response>
     select_batch(std::vector<Request> requests);

@@ -23,6 +23,7 @@
 
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 
 namespace rake {
@@ -79,7 +80,11 @@ class LatencyHistogram
         const int64_t total = count();
         if (total <= 0)
             return 0;
-        int64_t rank = static_cast<int64_t>(q * static_cast<double>(total));
+        // ceil, not floor: the quantile is the smallest sample with at
+        // least q * total at or below it, so a fractional rank rounds
+        // up (median of 9 is the 5th, ceil(4.5), not the 4th).
+        int64_t rank = static_cast<int64_t>(
+            std::ceil(q * static_cast<double>(total)));
         if (rank < 1)
             rank = 1;
         if (rank > total)

@@ -11,6 +11,8 @@
 #include <sstream>
 #include <vector>
 
+#include <cerrno>
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "hir/printer.h"
@@ -310,10 +312,29 @@ line_safe(const std::string &s)
 }
 
 /**
+ * Durability knob: RAKE_CACHE_FSYNC=0 skips the fsyncs below for
+ * benchmarking on slow filesystems. Default on — a published entry
+ * should survive power loss, not just process death.
+ */
+bool
+fsync_enabled()
+{
+    const char *env = std::getenv("RAKE_CACHE_FSYNC");
+    return env == nullptr || std::string(env) != "0";
+}
+
+/**
  * Crash-safe write: unique temp file in the same directory, then an
  * atomic rename over the final name. Readers either see the old
  * entry or the complete new one, never a torn write. Best-effort:
  * any I/O failure turns the store into a no-op.
+ *
+ * Durable, too (the regression this encodes): the temp file is
+ * fsync'd before the rename — otherwise the rename can be journaled
+ * ahead of the data and a power cut publishes a complete-looking
+ * entry full of zeros — and the directory is fsync'd after it, or
+ * the new name itself may vanish on replay. RAKE_CACHE_FSYNC=0
+ * trades that durability back for speed.
  */
 bool
 atomic_write(const std::string &path, const std::string &payload)
@@ -323,20 +344,57 @@ atomic_write(const std::string &path, const std::string &payload)
     tmp << path << ".tmp." << ::getpid() << "."
         << counter.fetch_add(1, std::memory_order_relaxed);
     const std::string tmp_path = tmp.str();
-    {
-        std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
-        if (!os)
+    const bool durable = fsync_enabled();
+
+    const int fd = ::open(tmp_path.c_str(),
+                          O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd < 0)
+        return false;
+    size_t off = 0;
+    while (off < payload.size()) {
+        const ssize_t n =
+            ::write(fd, payload.data() + off, payload.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            std::error_code ec;
+            fs::remove(tmp_path, ec);
             return false;
-        os << payload;
-        os.flush();
-        if (!os.good())
-            return false;
+        }
+        off += static_cast<size_t>(n);
     }
+    if (durable && ::fsync(fd) != 0) {
+        ::close(fd);
+        std::error_code ec;
+        fs::remove(tmp_path, ec);
+        return false;
+    }
+    if (::close(fd) != 0) {
+        std::error_code ec;
+        fs::remove(tmp_path, ec);
+        return false;
+    }
+
     std::error_code ec;
     fs::rename(tmp_path, path, ec);
     if (ec) {
         fs::remove(tmp_path, ec);
         return false;
+    }
+
+    if (durable) {
+        // Publish the rename itself: fsync the containing directory.
+        // Failure here is not unwound — the entry is already live and
+        // well-formed, merely not yet guaranteed on stable storage.
+        const std::string dir = fs::path(path).parent_path().string();
+        const int dfd =
+            ::open(dir.empty() ? "." : dir.c_str(),
+                   O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+        if (dfd >= 0) {
+            (void)::fsync(dfd);
+            ::close(dfd);
+        }
     }
     return true;
 }

@@ -175,6 +175,46 @@ TEST(FuzzOracles, CleanPipelinePassesAllOracles)
     }
 }
 
+TEST(FuzzOracles, CleanPipelinePassesTheJitOracle)
+{
+    // The native tier through the lattice: everything hvx selects
+    // must also jit-compile and match the interpreter. On non-x86-64
+    // hosts the jit stage self-skips, leaving the plain hvx oracle.
+    GenOptions gen_opts;
+    const Generator gen(gen_opts);
+    OracleOptions oracles;
+    oracles.neon = false;
+    oracles.jit = true;
+    int selected = 0;
+    for (int i = 0; i < 50; ++i) {
+        const hir::ExprPtr e = gen.generate(program_seed(23, i));
+        const CheckResult res = check_expr(e, oracles);
+        EXPECT_TRUE(res.ok())
+            << hir::to_sexpr(e) << "\noracle " << res.divergence->oracle
+            << ": " << res.divergence->detail;
+        selected += res.hvx_selected ? 1 : 0;
+    }
+    EXPECT_GT(selected, 0);
+}
+
+TEST(FuzzOracles, CleanStagedPipelinePassesTheJitDagOracle)
+{
+    GenOptions gen_opts;
+    gen_opts.stages = 3;
+    const Generator gen(gen_opts);
+    OracleOptions oracles;
+    oracles.neon = false;
+    oracles.jit = true;
+    for (int i = 0; i < 10; ++i) {
+        const auto stages = gen.generate_stages(program_seed(29, i));
+        const CheckResult res = check_stages(stages, oracles);
+        EXPECT_TRUE(res.ok())
+            << hir::to_sexpr(stages.back()) << "\noracle "
+            << res.divergence->oracle << ": "
+            << res.divergence->detail;
+    }
+}
+
 TEST(FuzzOracles, InjectedSubSwapBugIsCaught)
 {
     OracleOptions oracles;

@@ -71,6 +71,24 @@ TEST(FuzzCorpusReplay, EntriesReplayOnEachBackendAlone)
     }
 }
 
+TEST(FuzzCorpusReplay, EveryEntryPassesTheJitOracle)
+{
+    // The native tier over the fuzzer's long-term memory: every
+    // historical reproducer, selected for HVX, jit-compiled and run.
+    // check_expr skips the jit stage on non-x86-64 hosts, so this
+    // replay degrades to the plain hvx gate there instead of failing.
+    OracleOptions jit_opts;
+    jit_opts.neon = false;
+    jit_opts.jit = true;
+    for (const CorpusEntry &entry : corpus()) {
+        const CheckResult res = check_expr(entry.expr, jit_opts);
+        EXPECT_TRUE(res.ok())
+            << entry.path << "\noracle " << res.divergence->oracle
+            << ": " << res.divergence->detail << "\n"
+            << hir::to_sexpr(entry.expr);
+    }
+}
+
 /**
  * Protocol corpus replay: raw wire bytes for the compile server's
  * frame decoder + request parser (they live in a subdirectory, which

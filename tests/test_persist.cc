@@ -444,6 +444,51 @@ TEST(Persist, SigkilledWritersNeverTearAnEntry)
     EXPECT_EQ(hvx::to_sexpr(repaired.result->instr), expect);
 }
 
+TEST(Persist, FsyncKnobGatesDurabilityNotCorrectness)
+{
+    // The publish path fsyncs the entry before the rename and the
+    // directory after it (power-loss durability); RAKE_CACHE_FSYNC=0
+    // opts out for speed. Either way the visible contract — complete
+    // entries, never torn ones — must hold, including under SIGKILL.
+    const ExprPtr e = average_expr();
+    synth::RakeOptions opts;
+    opts.use_cache = false;
+    auto base = synth::select_instructions(e, opts);
+    ASSERT_TRUE(base.has_value());
+    const ExprPtr normalized = hir::simplify(e);
+    const uint64_t fp = synth::options_fingerprint(opts);
+    const std::string expect = hvx::to_sexpr(base->instr);
+
+    for (const char *knob : {"1", "0"}) {
+        ASSERT_EQ(setenv("RAKE_CACHE_FSYNC", knob, 1), 0);
+        const std::string dir =
+            fresh_dir(std::string("fsync") + knob);
+        auto *store = synth::persistent_store(dir);
+        ASSERT_TRUE(store->store(normalized, fp, *base));
+        auto loaded = store->load(normalized, fp);
+        ASSERT_TRUE(loaded.hit) << "RAKE_CACHE_FSYNC=" << knob;
+        EXPECT_EQ(hvx::to_sexpr(loaded.result->instr), expect);
+
+        // One kill round per knob setting: the fsyncs must not open a
+        // window where a dying writer leaves a torn entry behind.
+        const pid_t pid = fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            for (;;)
+                store->store(normalized, fp, *base);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(1500));
+        ASSERT_EQ(kill(pid, SIGKILL), 0);
+        int status = 0;
+        ASSERT_EQ(waitpid(pid, &status, 0), pid);
+        auto after = store->load(normalized, fp);
+        ASSERT_FALSE(after.invalid);
+        ASSERT_TRUE(after.hit);
+        EXPECT_EQ(hvx::to_sexpr(after.result->instr), expect);
+    }
+    ASSERT_EQ(unsetenv("RAKE_CACHE_FSYNC"), 0);
+}
+
 TEST(Persist, TimedOutQueryNeverLandsOnDisk)
 {
     const std::string dir = fresh_dir("timeout");

@@ -109,6 +109,47 @@ TEST(Histogram, TailQuantileNeverBelowMedian)
                   LatencyHistogram::kBuckets - 1));
 }
 
+TEST(Histogram, RankIsCeilOfQTimesCount)
+{
+    // The regression this pins: rank must be ceil(q * count), not
+    // floor. With 4 fast and 5 slow samples the median is the 5th of
+    // 9 (ceil(4.5)), which is a slow sample — the floored rank 4
+    // reported the fast bucket instead.
+    LatencyHistogram h;
+    for (int i = 0; i < 4; ++i)
+        h.record_seconds(1e-6); // bucket [1, 2) us
+    for (int i = 0; i < 5; ++i)
+        h.record_seconds(1e-3); // bucket [512, 1024) us
+    EXPECT_EQ(h.quantile_us(0.5), 1024.0);
+    // q=0 degenerates to the minimum (rank clamps up to 1), q=1 to
+    // the maximum (rank = count exactly).
+    EXPECT_EQ(h.quantile_us(0.0), 2.0);
+    EXPECT_EQ(h.quantile_us(1.0), 1024.0);
+}
+
+TEST(Histogram, SingleSampleAnswersEveryQuantile)
+{
+    LatencyHistogram h;
+    h.record_seconds(3e-6); // bucket [2, 4) us
+    for (double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+        EXPECT_EQ(h.quantile_us(q), 4.0) << "q=" << q;
+    // Out-of-range q clamps instead of under/overflowing the rank.
+    EXPECT_EQ(h.quantile_us(-0.5), 4.0);
+    EXPECT_EQ(h.quantile_us(7.0), 4.0);
+}
+
+TEST(Histogram, TopBucketAbsorbsPathologies)
+{
+    LatencyHistogram h;
+    h.record_seconds(1e9); // absurd: ~31 years
+    EXPECT_EQ(h.quantile_us(0.5),
+              LatencyHistogram::bucket_upper_us(
+                  LatencyHistogram::kBuckets - 1));
+    EXPECT_EQ(h.quantile_us(1.0),
+              LatencyHistogram::bucket_upper_us(
+                  LatencyHistogram::kBuckets - 1));
+}
+
 TEST(Histogram, ConcurrentRecordersLoseNothing)
 {
     LatencyHistogram h;
@@ -553,6 +594,74 @@ TEST(Serve, ServerSideErrorsAreStructured)
 
     // The session survives per-request errors.
     EXPECT_TRUE(client.ping());
+}
+
+TEST(Serve, ServerDeathMidBatchKeepsPartialResults)
+{
+    // The regression this pins: a server that dies after answering
+    // part of a batch used to make select_batch throw, discarding the
+    // answers already on the wire. A hand-rolled fake server makes
+    // the failure deterministic — it reads the whole batch, answers
+    // exactly the first request, and hangs up.
+    const std::string path = fresh_socket("midbatch");
+    UnixListener listener(path);
+
+    std::thread fake([&] {
+        std::optional<UnixSocket> conn = listener.accept(5000);
+        if (!conn)
+            return;
+        FrameReader frames;
+        char buf[4096];
+        std::vector<serve::Request> reqs;
+        std::string payload, error;
+        while (reqs.size() < 3) {
+            const FrameReader::Status st = frames.next(&payload, &error);
+            if (st == FrameReader::Status::Frame) {
+                reqs.push_back(serve::parse_request(payload));
+                continue;
+            }
+            if (st == FrameReader::Status::Error)
+                return;
+            const ssize_t n = conn->recv_some(buf, sizeof(buf));
+            if (n <= 0)
+                return;
+            frames.feed(buf, static_cast<size_t>(n));
+        }
+        serve::Response resp;
+        resp.id = reqs[0].id;
+        resp.status = "no_solution";
+        (void)conn->send_all(
+            frame_encode(serve::encode_response(resp)));
+        // conn goes out of scope here: EOF for the other two.
+    });
+
+    serve::ClientOptions copts;
+    copts.socket_path = path;
+    serve::RemoteSelect client(copts);
+    std::vector<serve::Request> batch(3);
+    for (serve::Request &r : batch) {
+        r.backend = "hvx";
+        r.expr = "(vmem u8x64 0 0 0)";
+    }
+    const std::vector<serve::Response> responses =
+        client.select_batch(std::move(batch));
+    fake.join();
+
+    ASSERT_EQ(responses.size(), 3u);
+    // The answer that made it back survives verbatim...
+    EXPECT_EQ(responses[0].status, "no_solution");
+    // ...and the lost remainder surfaces as structured errors in the
+    // right slots, not an exception that throws the batch away.
+    for (size_t i = 1; i < responses.size(); ++i) {
+        EXPECT_EQ(responses[i].status, "error") << "slot " << i;
+        EXPECT_NE(responses[i].error.find("connection lost"),
+                  std::string::npos)
+            << responses[i].error;
+        // A dead connection is not a shed query: it must not trigger
+        // the local greedy degradation path.
+        EXPECT_FALSE(responses[i].degraded_like_timeout());
+        EXPECT_GT(responses[i].id, 0);
+    }
 }
 
 TEST(Serve, ProtocolErrorAnswersThenDropsSession)

@@ -2,7 +2,7 @@
  * @file
  * Generative differential fuzzer CLI.
  *
- *   rake_fuzz [--seed N] [--count N] [--target hvx|neon|both]
+ *   rake_fuzz [--seed N] [--count N] [--target hvx|neon|both|jit]
  *             [--jobs N] [--depth N] [--lanes N] [--stages N]
  *             [--envs N] [--timeout-ms N] [--no-minimize]
  *             [--corpus-dir PATH] [--rules PATH] [--inject-sub-bug]
@@ -14,6 +14,11 @@
  * reference interpreter, cross-backend agreement). Divergences are
  * shrunk by the delta-debugging minimizer and, with --corpus-dir,
  * persisted as reproducer files.
+ *
+ * --target jit arms the native tier: each HVX selection is
+ * additionally jit-compiled to host x86-64 and its output must match
+ * the HVX interpreter lane-for-lane (a no-op on non-x86-64 hosts, so
+ * the flag is safe everywhere).
  *
  * --stages N > 1 generates N-stage pipeline programs (stage i reads
  * stage i-1 through a reserved intermediate buffer) and swaps the
@@ -53,6 +58,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -62,6 +68,7 @@
 #include "hir/printer.h"
 #include "serve/protocol.h"
 #include "support/error.h"
+#include "support/parse.h"
 
 using namespace rake;
 
@@ -80,7 +87,7 @@ usage(const std::string &msg)
     if (!msg.empty())
         std::cerr << "rake_fuzz: " << msg << "\n";
     std::cerr << "usage: rake_fuzz [--seed N] [--count N] "
-                 "[--target hvx|neon|both] [--jobs N] [--depth N] "
+                 "[--target hvx|neon|both|jit] [--jobs N] [--depth N] "
                  "[--lanes N] [--stages N] [--envs N] [--timeout-ms N] "
                  "[--no-minimize] [--corpus-dir PATH] "
                  "[--rules PATH] [--inject-sub-bug] [--inject-spin] "
@@ -98,37 +105,37 @@ parse_args(int argc, char **argv)
             usage(flag + " needs a value");
         return argv[++i];
     };
-    auto int_value = [&](int &i, const std::string &flag) {
-        const std::string v = value(i, flag);
-        try {
-            return std::stoll(v);
-        } catch (...) {
-            usage(flag + ": bad integer '" + v + "'");
-        }
+    // Strict parsing: a typo'd flag value is a UserError naming the
+    // flag and its range, never a silent 0 (parse.h has the history).
+    auto int_value = [&](int &i, const std::string &flag, int64_t min,
+                         int64_t max) {
+        return parse_int_knob(value(i, flag), flag.c_str(), min, max);
     };
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--seed") {
-            args.fuzz.seed = static_cast<uint64_t>(int_value(i, a));
+            args.fuzz.seed = static_cast<uint64_t>(
+                int_value(i, a, 0, std::numeric_limits<int64_t>::max()));
         } else if (a == "--count") {
-            args.fuzz.count = static_cast<int>(int_value(i, a));
+            args.fuzz.count =
+                static_cast<int>(int_value(i, a, 1, 1000000000));
         } else if (a == "--jobs") {
-            args.fuzz.jobs = static_cast<int>(int_value(i, a));
+            args.fuzz.jobs = static_cast<int>(int_value(i, a, 1, 4096));
         } else if (a == "--depth") {
-            args.fuzz.gen.max_depth = static_cast<int>(int_value(i, a));
+            args.fuzz.gen.max_depth =
+                static_cast<int>(int_value(i, a, 1, 64));
         } else if (a == "--lanes") {
-            args.fuzz.gen.lanes = static_cast<int>(int_value(i, a));
+            args.fuzz.gen.lanes =
+                static_cast<int>(int_value(i, a, 1, 1024));
         } else if (a == "--stages") {
-            args.fuzz.gen.stages = static_cast<int>(int_value(i, a));
-            if (args.fuzz.gen.stages < 1)
-                usage("--stages must be >= 1");
+            args.fuzz.gen.stages =
+                static_cast<int>(int_value(i, a, 1, 64));
         } else if (a == "--envs") {
-            args.fuzz.oracles.envs = static_cast<int>(int_value(i, a));
+            args.fuzz.oracles.envs =
+                static_cast<int>(int_value(i, a, 1, 1024));
         } else if (a == "--timeout-ms") {
-            args.fuzz.oracles.timeout_ms =
-                static_cast<int>(int_value(i, a));
-            if (args.fuzz.oracles.timeout_ms <= 0)
-                usage("--timeout-ms must be positive");
+            args.fuzz.oracles.timeout_ms = static_cast<int>(
+                int_value(i, a, 1, std::numeric_limits<int>::max()));
         } else if (a == "--target") {
             const std::string t = value(i, a);
             if (t == "hvx") {
@@ -140,6 +147,12 @@ parse_args(int argc, char **argv)
             } else if (t == "both") {
                 args.fuzz.oracles.hvx = true;
                 args.fuzz.oracles.neon = true;
+            } else if (t == "jit") {
+                // Native tier: hvx selection plus the jit-vs-interp
+                // oracle over whatever it selected.
+                args.fuzz.oracles.hvx = true;
+                args.fuzz.oracles.neon = false;
+                args.fuzz.oracles.jit = true;
             } else {
                 usage("unknown --target '" + t + "'");
             }
